@@ -1,0 +1,45 @@
+// Ablation: the paper's future-work sparse LOSS (weave-order candidate
+// edges + path contraction) against dense LOSS: schedule quality and
+// scheduling CPU across batch sizes.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace serpentine;
+
+int main() {
+  bench::PrintHeader("Ablation: sparse LOSS",
+                     "Dense LOSS vs sparse-graph LOSS with path "
+                     "contraction (both with the paper's T=1410 "
+                     "coalescing), random start");
+
+  tape::Dlt4000LocateModel model = bench::MakeTapeAModel();
+
+  sched::SchedulerOptions dense;
+  dense.loss_coalesce_threshold = sched::kDefaultCoalesceThreshold;
+  sched::SchedulerOptions sparse;  // kSparseLoss defaults to T=1410
+
+  Table table;
+  table.SetHeader({"N", "dense exec s", "sparse exec s", "delta %",
+                   "dense CPU ms", "sparse CPU ms"});
+  for (int n : {64, 128, 256, 512, 1024, 2048}) {
+    int64_t trials = std::max<int64_t>(4, bench::TrialsFor(n) / 8);
+    sim::PointStats d = sim::SimulatePoint(
+        model, model, sched::Algorithm::kLoss, n, trials, false, 17, dense);
+    sim::PointStats s =
+        sim::SimulatePoint(model, model, sched::Algorithm::kSparseLoss, n,
+                           trials, false, 17, sparse);
+    table.AddRow(
+        {Table::Int(n), Table::Num(d.mean_total_seconds, 1),
+         Table::Num(s.mean_total_seconds, 1),
+         Table::Num((s.mean_total_seconds - d.mean_total_seconds) /
+                        d.mean_total_seconds * 100.0, 2),
+         Table::Num(d.mean_schedule_cpu_seconds * 1000, 2),
+         Table::Num(s.mean_schedule_cpu_seconds * 1000, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: sparse LOSS stays within a few %% of dense quality "
+      "(the paper anticipated long edges forcing a contraction phase).\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Shared helpers for the figure-reproduction benches.
+#ifndef SERPENTINE_BENCH_BENCH_COMMON_H_
+#define SERPENTINE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serpentine/sched/scheduler.h"
+#include "serpentine/sim/experiment.h"
+#include "serpentine/tape/locate_model.h"
+#include "serpentine/util/env.h"
+#include "serpentine/util/table.h"
+
+namespace serpentine::bench {
+
+/// The tape the experiments run on ("tape A"): DLT4000 geometry, seed 1.
+inline tape::Dlt4000LocateModel MakeTapeAModel() {
+  return tape::Dlt4000LocateModel(
+      tape::TapeGeometry::Generate(tape::Dlt4000TapeParams(), 1),
+      tape::Dlt4000Timings());
+}
+
+/// A second cartridge ("tape B") for the wrong-key-points experiment.
+inline tape::Dlt4000LocateModel MakeTapeBModel() {
+  return tape::Dlt4000LocateModel(
+      tape::TapeGeometry::Generate(tape::Dlt4000TapeParams(), 2),
+      tape::Dlt4000Timings());
+}
+
+/// Prints the figure banner and the active trial scale.
+inline void PrintHeader(const char* figure, const char* description) {
+  const char* scale = "default";
+  switch (GetBenchScale()) {
+    case BenchScale::kFull:
+      scale = "full (paper trial counts)";
+      break;
+    case BenchScale::kSmoke:
+      scale = "smoke";
+      break;
+    case BenchScale::kDefault:
+      break;
+  }
+  std::printf("== %s ==\n%s\n(trial scale: %s; set SERPENTINE_SCALE=full "
+              "for paper counts)\n\n",
+              figure, description, scale);
+}
+
+/// Trials for one point of a figure, scaled from the paper's counts.
+inline int64_t TrialsFor(int n) {
+  return ScaledTrials(sim::PaperTrials(n));
+}
+
+/// Runs one figure-4/5-style sweep: mean seconds per locate for each
+/// algorithm at each schedule length. OPT is included only up to the
+/// paper's 12-request ceiling; READ appears as the constant full-pass
+/// bound.
+inline void RunPerLocateFigure(bool start_at_bot, int32_t seed) {
+  tape::Dlt4000LocateModel model = MakeTapeAModel();
+
+  struct Entry {
+    sched::Algorithm algorithm;
+    const char* label;
+  };
+  const std::vector<Entry> entries = {
+      {sched::Algorithm::kFifo, "FIFO"},
+      {sched::Algorithm::kSort, "SORT"},
+      {sched::Algorithm::kScan, "SCAN"},
+      {sched::Algorithm::kWeave, "WEAVE"},
+      {sched::Algorithm::kSltf, "SLTF"},
+      {sched::Algorithm::kLoss, "LOSS"},
+      {sched::Algorithm::kOpt, "OPT"},
+      {sched::Algorithm::kRead, "READ"},
+  };
+
+  Table means;
+  Table stds;
+  std::vector<std::string> header = {"N", "trials"};
+  for (const auto& e : entries) header.push_back(e.label);
+  means.SetHeader(header);
+  stds.SetHeader(header);
+
+  for (int n : sim::PaperScheduleLengths()) {
+    std::vector<std::string> mean_row = {Table::Int(n)};
+    std::vector<std::string> std_row = {Table::Int(n)};
+    int64_t trials = TrialsFor(n);
+    mean_row.push_back(Table::Int(trials));
+    std_row.push_back(Table::Int(trials));
+    for (const auto& e : entries) {
+      if (e.algorithm == sched::Algorithm::kOpt && n > 12) {
+        mean_row.push_back("-");
+        std_row.push_back("-");
+        continue;
+      }
+      int64_t point_trials =
+          e.algorithm == sched::Algorithm::kOpt
+              ? ScaledTrials(sim::PaperTrialsOpt(n))
+              : trials;
+      sim::PointStats p = sim::SimulatePoint(
+          model, model, e.algorithm, n, point_trials, start_at_bot, seed);
+      mean_row.push_back(Table::Num(p.mean_seconds_per_locate, 2));
+      std_row.push_back(Table::Num(p.std_total_seconds / n, 2));
+    }
+    means.AddRow(mean_row);
+    stds.AddRow(std_row);
+  }
+  std::printf("Mean seconds per locate (schedule execution time / N):\n");
+  means.Print();
+  std::printf(
+      "\nStandard deviation of the per-locate time across trials "
+      "(the paper reports mean and std for every point):\n");
+  stds.Print();
+}
+
+}  // namespace serpentine::bench
+
+#endif  // SERPENTINE_BENCH_BENCH_COMMON_H_

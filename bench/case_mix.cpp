@@ -1,0 +1,59 @@
+// Extension: which of the paper's seven locate cases a LOSS schedule
+// actually uses at each batch size — the microstructure behind the Fig 4
+// curve (per-locate cost falls because locates shift from long cross-track
+// scans to case-1 read-forwards) and the Fig 8 error growth (the
+// short-locate fraction approaches 1).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "serpentine/sim/case_mix.h"
+
+using namespace serpentine;
+
+int main() {
+  bench::PrintHeader("Locate case mix (extension)",
+                     "Fraction of locates per model case in LOSS "
+                     "schedules, BOT start (averaged over trials)");
+
+  tape::Dlt4000LocateModel model = bench::MakeTapeAModel();
+
+  Table table;
+  table.SetHeader({"N", "read-fwd", "scan-fwd-co", "scan-back-co",
+                   "track-start-co", "scan-fwd-anti", "scan-back-anti",
+                   "track-start-anti", "short<25s", "mean s/locate"});
+  for (int n : {4, 16, 64, 192, 512, 1024, 2048}) {
+    int trials = static_cast<int>(std::max<int64_t>(4, bench::TrialsFor(n) / 20));
+    sim::CaseMix total;
+    Lrand48 rng(13);
+    for (int t = 0; t < trials; ++t) {
+      auto requests = sim::GenerateUniformRequests(
+          rng, n, model.geometry().total_segments());
+      auto s = sched::BuildSchedule(model, 0, requests,
+                                    sched::Algorithm::kLoss);
+      if (!s.ok()) return 1;
+      sim::CaseMix mix = sim::AnalyzeCaseMix(model, *s);
+      for (int i = 0; i < sim::CaseMix::kCases; ++i) {
+        total.count[i] += mix.count[i];
+        total.seconds[i] += mix.seconds[i];
+      }
+      total.total_locates += mix.total_locates;
+      total.total_seconds += mix.total_seconds;
+      total.short_locates += mix.short_locates;
+    }
+    std::vector<std::string> row = {Table::Int(n)};
+    for (int i = 0; i < sim::CaseMix::kCases; ++i) {
+      row.push_back(Table::Num(
+          100.0 * total.count[i] / total.total_locates, 1));
+    }
+    row.push_back(Table::Num(100.0 * total.short_fraction(), 1));
+    row.push_back(Table::Num(total.total_seconds / total.total_locates, 1));
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: at small N nearly all locates are cross-track scans; as "
+      "N grows, read-forward (case 1) and short co-directional hops take "
+      "over and the short-locate fraction climbs toward 100%% — the regime "
+      "where the paper says its model is least accurate (Fig 8).\n");
+  return 0;
+}

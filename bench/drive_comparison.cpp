@@ -1,0 +1,82 @@
+// Extension: the paper's results are about serpentine layout, not one
+// drive. Re-runs the headline comparison (FIFO vs LOSS vs READ) on three
+// serpentine drive families the paper names (§2) — DLT4000, DLT7000,
+// IBM 3590 — plus a helical-scan drive where SORT is already optimal.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace serpentine;
+
+namespace {
+
+void RunFamily(const char* name, const tape::TapeParams& params,
+               const tape::DriveTimings& timings) {
+  tape::Dlt4000LocateModel model(tape::TapeGeometry::Generate(params, 1),
+                                 timings);
+  std::printf("%s: %lld segments (%.1f GB), %d tracks, full read+rewind "
+              "%.0f s\n",
+              name, static_cast<long long>(model.geometry().total_segments()),
+              model.geometry().total_segments() * 32.0 / (1024 * 1024),
+              model.geometry().num_tracks(),
+              model.FullReadAndRewindSeconds());
+
+  Table table;
+  table.SetHeader({"N", "FIFO s/loc", "LOSS s/loc", "speedup",
+                   "READ s/loc"});
+  for (int n : {16, 96, 512, 1536}) {
+    int64_t trials = std::max<int64_t>(6, bench::TrialsFor(n) / 10);
+    sim::PointStats fifo = sim::SimulatePoint(
+        model, model, sched::Algorithm::kFifo, n, trials, false, 3);
+    sim::PointStats loss = sim::SimulatePoint(
+        model, model, sched::Algorithm::kLoss, n, trials, false, 3);
+    table.AddRow({Table::Int(n),
+                  Table::Num(fifo.mean_seconds_per_locate, 1),
+                  Table::Num(loss.mean_seconds_per_locate, 1),
+                  Table::Num(fifo.mean_seconds_per_locate /
+                                 loss.mean_seconds_per_locate, 2),
+                  Table::Num(model.FullReadAndRewindSeconds() / n, 1)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Drive-family comparison (extension)",
+                     "FIFO vs LOSS vs READ per-locate seconds across the "
+                     "serpentine drives the paper names");
+
+  RunFamily("Quantum DLT4000 (1.5 MB/s, 20 GB)", tape::Dlt4000TapeParams(),
+            tape::Dlt4000Timings());
+  RunFamily("Quantum DLT7000 (5.2 MB/s, 35 GB)", tape::Dlt7000TapeParams(),
+            tape::Dlt7000Timings());
+  RunFamily("IBM 3590 (9 MB/s, 10 GB)", tape::Ibm3590TapeParams(),
+            tape::Ibm3590Timings());
+
+  // Helical scan: SORT is the optimal schedule (paper §2), so the LOSS
+  // machinery is unnecessary there — show SORT ≈ LOSS.
+  tape::HelicalLocateModel helical(622058);
+  std::printf("Exabyte-class helical scan (SORT is optimal):\n");
+  Table table;
+  table.SetHeader({"N", "FIFO s/loc", "SORT s/loc", "LOSS s/loc"});
+  for (int n : {16, 96, 512}) {
+    int64_t trials = std::max<int64_t>(6, bench::TrialsFor(n) / 20);
+    sim::PointStats fifo = sim::SimulatePoint(
+        helical, helical, sched::Algorithm::kFifo, n, trials, false, 3);
+    sim::PointStats sort = sim::SimulatePoint(
+        helical, helical, sched::Algorithm::kSort, n, trials, false, 3);
+    sim::PointStats loss = sim::SimulatePoint(
+        helical, helical, sched::Algorithm::kLoss, n, trials, false, 3);
+    table.AddRow({Table::Int(n), Table::Num(fifo.mean_seconds_per_locate, 1),
+                  Table::Num(sort.mean_seconds_per_locate, 1),
+                  Table::Num(loss.mean_seconds_per_locate, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: the FIFO->LOSS speedup pattern holds on every serpentine "
+      "family; on helical tape LOSS only matches SORT, confirming the "
+      "scheduling problem is specific to serpentine layout.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 10: execution-time increase for LOSS schedules built with a
+// perturbed locate model (locate ± E by destination parity, E in
+// {1,2,3,5,10} seconds), relative to schedules built with the correct
+// model; start at beginning of tape.
+//
+// Paper conclusions to reproduce: errors of <= 2 s barely matter; E=10 can
+// degrade execution time by 1-2%; OPT (checked separately below) is
+// unaffected even at E=10 because it optimizes the total, and this error
+// model has mean zero.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "serpentine/sim/perturbed_model.h"
+
+using namespace serpentine;
+
+int main() {
+  bench::PrintHeader("Figure 10",
+                     "Mean % increase in execution time of LOSS schedules "
+                     "built with a perturbed locate model (E = 1,2,3,5,10 "
+                     "s), start at BOT");
+
+  tape::Dlt4000LocateModel model = bench::MakeTapeAModel();
+  const std::vector<double> errors = {1.0, 2.0, 3.0, 5.0, 10.0};
+
+  Table table;
+  table.SetHeader({"N", "trials", "LOSS-1", "LOSS-2", "LOSS-3", "LOSS-5",
+                   "LOSS-10"});
+  for (int n : sim::PaperScheduleLengths()) {
+    int64_t trials = std::max<int64_t>(4, bench::TrialsFor(n) / 8);
+    sim::PointStats clean = sim::SimulatePoint(
+        model, model, sched::Algorithm::kLoss, n, trials, true, 23);
+    std::vector<std::string> row = {Table::Int(n), Table::Int(trials)};
+    for (double e : errors) {
+      sim::PerturbedLocateModel perturbed(&model, e);
+      sim::PointStats noisy = sim::SimulatePoint(
+          perturbed, model, sched::Algorithm::kLoss, n, trials, true, 23);
+      double increase_pct =
+          (noisy.mean_total_seconds - clean.mean_total_seconds) /
+          clean.mean_total_seconds * 100.0;
+      row.push_back(Table::Num(increase_pct, 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  // OPT sensitivity (paper: "no estimation errors even for E=10").
+  std::printf("\nOPT under E=10 perturbation (should be ~0%% increase):\n");
+  std::printf("N   increase%%\n");
+  sim::PerturbedLocateModel perturbed10(&model, 10.0);
+  for (int n : {2, 4, 6, 8, 10, 12}) {
+    int64_t trials = ScaledTrials(sim::PaperTrialsOpt(n), 2000, 20000, 4);
+    sim::PointStats clean = sim::SimulatePoint(
+        model, model, sched::Algorithm::kOpt, n, trials, true, 29);
+    sim::PointStats noisy = sim::SimulatePoint(
+        perturbed10, model, sched::Algorithm::kOpt, n, trials, true, 29);
+    std::printf("%-3d %8.3f\n", n,
+                (noisy.mean_total_seconds - clean.mean_total_seconds) /
+                    clean.mean_total_seconds * 100.0);
+  }
+  return 0;
+}

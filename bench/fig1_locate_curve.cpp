@@ -1,0 +1,84 @@
+// Figure 1: detailed locate-time measurements from segment 0, with the
+// rewind-time curve, track boundaries, and the sawtooth dip/peak structure;
+// plus the §3 summary statistics (max ≈ 180 s, E[BOT→random] ≈ 96.5 s,
+// E[random→random] ≈ 72.4 s).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "serpentine/util/lrand48.h"
+#include "serpentine/util/stats.h"
+
+using namespace serpentine;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 1", "Locate time from segment 0 vs destination segment "
+                  "(solid curve) and rewind time (dotted curve)");
+  tape::Dlt4000LocateModel model = bench::MakeTapeAModel();
+  const tape::TapeGeometry& g = model.geometry();
+
+  // The curve over the first four tracks, sampled every ~quarter section.
+  std::printf("segment  track  section  locate_s  rewind_s\n");
+  for (int t = 0; t < 4; ++t) {
+    for (tape::SegmentId seg = g.track_start(t); seg < g.track_start(t + 1);
+         seg += 176) {
+      tape::Coord c = g.ToCoord(seg);
+      std::printf("%7lld  %5d  %7d  %8.2f  %8.2f\n",
+                  static_cast<long long>(seg), c.track, c.physical_section,
+                  model.LocateSeconds(0, seg), model.RewindSeconds(seg));
+    }
+  }
+
+  // Dip structure: each key point is one segment past a peak.
+  std::printf("\nDip drops at key points (locate(0, dip-1) - locate(0, dip)):\n");
+  std::printf("track  direction  mean_drop_s\n");
+  for (int t : {2, 4, 8, 3, 5, 9}) {
+    Accumulator drop;
+    for (int r = 2; r < g.sections_per_track(); ++r) {
+      tape::SegmentId dip = g.KeyPointSegment(t, r);
+      drop.Add(model.LocateSeconds(0, dip - 1) - model.LocateSeconds(0, dip));
+    }
+    std::printf("%5d  %9s  %10.2f\n", t,
+                g.IsForwardTrack(t) ? "forward" : "reverse", drop.mean());
+  }
+
+  // §3 summary statistics.
+  Lrand48 rng(1);
+  Accumulator from_bot, between, all;
+  double max_locate = 0.0;
+  int big_dips = 0;
+  int64_t samples = ScaledTrials(200000, 10, 100, 20000);
+  for (int64_t i = 0; i < samples; ++i) {
+    tape::SegmentId a = rng.NextBounded(g.total_segments());
+    tape::SegmentId b = rng.NextBounded(g.total_segments());
+    double t_ab = model.LocateSeconds(a, b);
+    between.Add(t_ab);
+    from_bot.Add(model.LocateSeconds(0, b));
+    max_locate = std::max(max_locate, t_ab);
+    all.Add(t_ab);
+  }
+  for (int t = 0; t < g.num_tracks(); ++t) {
+    for (int r = 1; r < g.sections_per_track(); ++r) {
+      tape::SegmentId dip = g.KeyPointSegment(t, r);
+      if (model.LocateSeconds(0, dip - 1) - model.LocateSeconds(0, dip) >
+          20.0) {
+        ++big_dips;
+      }
+    }
+  }
+
+  std::printf("\nSection 3 anchors                paper      measured\n");
+  std::printf("max locate time                  ~180 s     %.1f s\n",
+              max_locate);
+  std::printf("E[locate BOT -> random]          96.5 s     %.1f s\n",
+              from_bot.mean());
+  std::printf("E[locate random -> random]       72.4 s     %.1f s\n",
+              between.mean());
+  std::printf("key points with ~25 s drop       ~300       %d\n", big_dips);
+  std::printf("full read + rewind               ~14000 s   %.0f s\n",
+              model.FullReadAndRewindSeconds());
+  std::printf("tape capacity (segments)         622102     %lld\n",
+              static_cast<long long>(g.total_segments()));
+  return 0;
+}

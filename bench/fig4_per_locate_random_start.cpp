@@ -1,0 +1,15 @@
+// Figure 4: mean time per locate vs schedule length, with the initial tape
+// head position random (the repeated-batch scenario). One column per
+// scheduling algorithm.
+#include "bench_common.h"
+
+int main() {
+  serpentine::bench::PrintHeader(
+      "Figure 4",
+      "Mean time per locate, random starting position. Expected shape: "
+      "FIFO flat (~82 s with this calibration; paper measured ~72-75 s); "
+      "all schedulers improve with N; LOSS lowest; SORT poor at small N; "
+      "READ = 14284/N crossing LOSS near N=1536.");
+  serpentine::bench::RunPerLocateFigure(/*start_at_bot=*/false, /*seed=*/1);
+  return 0;
+}

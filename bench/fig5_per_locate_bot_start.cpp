@@ -1,0 +1,15 @@
+// Figure 5: mean time per locate vs schedule length with the initial head
+// position at the beginning of tape (the freshly-mounted-cartridge
+// scenario; single-reel cartridges rewind before ejecting).
+#include "bench_common.h"
+
+int main() {
+  serpentine::bench::PrintHeader(
+      "Figure 5",
+      "Mean time per locate, starting location at beginning of tape. "
+      "Same shape as Figure 4 but the one-locate point is dearer "
+      "(E[BOT->random] vs E[random->random]: paper 96.5 vs 72.4 s; this "
+      "calibration ~104 vs ~82 s).");
+  serpentine::bench::RunPerLocateFigure(/*start_at_bot=*/true, /*seed=*/1);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 6: CPU seconds to generate a schedule, per algorithm and schedule
+// length. The paper timed a SparcStation 20/61; absolute numbers here are
+// ~1000x faster, but the shapes must match: OPT exponential, LOSS
+// quadratic, SLTF ~ N log N + k^2, SORT/SCAN/WEAVE near-linear.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "serpentine/util/lrand48.h"
+
+using namespace serpentine;
+
+namespace {
+
+const tape::Dlt4000LocateModel& Model() {
+  static tape::Dlt4000LocateModel model = bench::MakeTapeAModel();
+  return model;
+}
+
+void RunScheduling(benchmark::State& state, sched::Algorithm algorithm,
+                   const sched::SchedulerOptions& options = {}) {
+  const auto& model = Model();
+  int n = static_cast<int>(state.range(0));
+  Lrand48 rng(42 + n);
+  tape::SegmentId total = model.geometry().total_segments();
+  for (auto _ : state) {
+    state.PauseTiming();
+    tape::SegmentId initial = rng.NextBounded(total);
+    std::vector<sched::Request> requests =
+        sim::GenerateUniformRequests(rng, n, total);
+    state.ResumeTiming();
+    auto s = sched::BuildSchedule(model, initial, std::move(requests),
+                                  algorithm, options);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_Fifo(benchmark::State& state) {
+  RunScheduling(state, sched::Algorithm::kFifo);
+}
+void BM_Sort(benchmark::State& state) {
+  RunScheduling(state, sched::Algorithm::kSort);
+}
+void BM_Scan(benchmark::State& state) {
+  RunScheduling(state, sched::Algorithm::kScan);
+}
+void BM_Weave(benchmark::State& state) {
+  RunScheduling(state, sched::Algorithm::kWeave);
+}
+void BM_Sltf(benchmark::State& state) {
+  RunScheduling(state, sched::Algorithm::kSltf);
+}
+void BM_SltfNaive(benchmark::State& state) {
+  sched::SchedulerOptions options;
+  options.sltf_naive = true;
+  RunScheduling(state, sched::Algorithm::kSltf, options);
+}
+void BM_Loss(benchmark::State& state) {
+  RunScheduling(state, sched::Algorithm::kLoss);
+}
+void BM_LossCoalesced(benchmark::State& state) {
+  sched::SchedulerOptions options;
+  options.loss_coalesce_threshold = sched::kDefaultCoalesceThreshold;
+  RunScheduling(state, sched::Algorithm::kLoss, options);
+}
+void BM_SparseLoss(benchmark::State& state) {
+  RunScheduling(state, sched::Algorithm::kSparseLoss);
+}
+void BM_Opt(benchmark::State& state) {
+  RunScheduling(state, sched::Algorithm::kOpt);
+}
+
+// The paper's schedule lengths, truncated per algorithm cost.
+void FullRange(benchmark::internal::Benchmark* b) {
+  for (int n : {16, 64, 192, 512, 1024, 2048}) b->Arg(n);
+}
+void MidRange(benchmark::internal::Benchmark* b) {
+  for (int n : {16, 64, 192, 512}) b->Arg(n);
+}
+
+BENCHMARK(BM_Fifo)->Apply(FullRange)->Complexity(benchmark::oN);
+BENCHMARK(BM_Sort)->Apply(FullRange)->Complexity(benchmark::oNLogN);
+BENCHMARK(BM_Scan)->Apply(FullRange)->Complexity(benchmark::oN);
+BENCHMARK(BM_Weave)->Apply(FullRange)->Complexity(benchmark::oN);
+BENCHMARK(BM_Sltf)->Apply(FullRange)->Complexity(benchmark::oNSquared);
+BENCHMARK(BM_SltfNaive)->Apply(MidRange)->Complexity(benchmark::oNSquared);
+BENCHMARK(BM_Loss)->Apply(FullRange)->Complexity(benchmark::oNSquared);
+BENCHMARK(BM_LossCoalesced)->Apply(FullRange)->Complexity(benchmark::oNSquared);
+BENCHMARK(BM_SparseLoss)->Apply(FullRange)->Complexity(benchmark::oNSquared);
+// OPT is exponential: the paper reports 0.6 s at 9, 6 s at 10, 936 s at 12
+// (1996 hardware). Keep to 12 so the bench terminates quickly.
+BENCHMARK(BM_Opt)->DenseRange(6, 12, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

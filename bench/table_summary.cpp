@@ -1,0 +1,79 @@
+// Section 8 summary ("The results in a nutshell"): random retrieval rates
+// in I/Os per hour for the recommended operating points, and the absolute
+// saving on a 192-request batch.
+//
+//   paper: FIFO ~50/h; OPT@10 ~93/h; LOSS@96 ~124/h; LOSS@1024 ~285/h;
+//          READ@1536 ~391/h; 192 random I/Os: 3.87 h FIFO -> 1.37 h LOSS.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace serpentine;
+
+namespace {
+
+double PerHour(const sim::PointStats& p) {
+  return 3600.0 / p.mean_seconds_per_locate;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Section 8 summary table",
+                     "Random retrieval rate by operating point (random "
+                     "starting position)");
+
+  tape::Dlt4000LocateModel model = bench::MakeTapeAModel();
+  auto run = [&](sched::Algorithm a, int n, int64_t trials) {
+    return sim::SimulatePoint(model, model, a, n, trials, false, 3);
+  };
+
+  Table table;
+  table.SetHeader(
+      {"operating point", "paper I/O per hr", "measured I/O per hr"});
+
+  sim::PointStats fifo = run(sched::Algorithm::kFifo, 192,
+                             ScaledTrials(100000));
+  table.AddRow({"FIFO (no scheduling)", "50", Table::Num(PerHour(fifo), 0)});
+
+  sim::PointStats opt10 = run(sched::Algorithm::kOpt, 10,
+                              ScaledTrials(sim::PaperTrialsOpt(10)));
+  table.AddRow({"OPT, schedule length 10", "93",
+                Table::Num(PerHour(opt10), 0)});
+
+  sim::PointStats loss96 =
+      run(sched::Algorithm::kLoss, 96, ScaledTrials(100000));
+  table.AddRow({"LOSS, schedule length 96", "124",
+                Table::Num(PerHour(loss96), 0)});
+
+  sim::PointStats loss1024 =
+      run(sched::Algorithm::kLoss, 1024, ScaledTrials(1600));
+  table.AddRow({"LOSS, schedule length 1024", "285",
+                Table::Num(PerHour(loss1024), 0)});
+
+  sim::PointStats read1536 =
+      run(sched::Algorithm::kRead, 1536, ScaledTrials(800, 800, 800));
+  table.AddRow({"READ (whole tape), batch 1536", "391",
+                Table::Num(PerHour(read1536), 0)});
+  table.Print();
+
+  sim::PointStats loss192 =
+      run(sched::Algorithm::kLoss, 192, ScaledTrials(100000));
+  std::printf("\n192 random I/Os          paper    measured\n");
+  std::printf("FIFO                     3.87 h   %.2f h\n",
+              fifo.mean_total_seconds / 3600.0);
+  std::printf("LOSS                     1.37 h   %.2f h\n",
+              loss192.mean_total_seconds / 3600.0);
+  std::printf("saving                   2.5 h    %.2f h\n",
+              (fifo.mean_total_seconds - loss192.mean_total_seconds) /
+                  3600.0);
+
+  // Crossover check: at 1536 requests, LOSS is no faster than READ.
+  sim::PointStats loss1536 =
+      run(sched::Algorithm::kLoss, 1536, ScaledTrials(800));
+  std::printf(
+      "\nCrossover at N=1536: LOSS %.0f s vs READ %.0f s (paper: LOSS no "
+      "faster than reading the whole tape)\n",
+      loss1536.mean_total_seconds, read1536.mean_total_seconds);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Extension: media wear per policy. The paper's §2 argues serpentine tape
+// tolerates intensive random I/O (500,000-pass rating vs ~1,500 for
+// helical media). This bench measures head passes per region for each
+// scheduling policy and translates them into media lifetime.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "serpentine/sim/wear.h"
+
+using namespace serpentine;
+
+int main() {
+  bench::PrintHeader("Tape wear (extension)",
+                     "Head passes and media-life consumption per policy, "
+                     "batches of 192 random reads, BOT start");
+
+  tape::Dlt4000LocateModel model = bench::MakeTapeAModel();
+  const int batches = static_cast<int>(ScaledTrials(500, 25, 125, 8));
+
+  Table table;
+  table.SetHeader({"policy", "tape-lengths/batch", "max passes",
+                   "DLT life %", "helical life %"});
+  for (sched::Algorithm a :
+       {sched::Algorithm::kFifo, sched::Algorithm::kSort,
+        sched::Algorithm::kScan, sched::Algorithm::kSltf,
+        sched::Algorithm::kLoss, sched::Algorithm::kRead}) {
+    sim::WearTracker w(&model.geometry());
+    Lrand48 rng(17);
+    for (int b = 0; b < batches; ++b) {
+      auto requests = sim::GenerateUniformRequests(
+          rng, 192, model.geometry().total_segments());
+      auto s = sched::BuildSchedule(model, 0, requests, a);
+      if (!s.ok()) return 1;
+      w.RecordSchedule(model, *s, /*rewind_at_end=*/true);
+    }
+    table.AddRow(
+        {sched::AlgorithmName(a),
+         Table::Num(w.full_length_equivalents() / batches, 1),
+         Table::Int(w.max_passes()),
+         Table::Num(w.life_consumed() * 100.0, 2),
+         Table::Num(w.life_consumed(1500) * 100.0, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: LOSS moves ~3-4x less tape per batch than FIFO (wear "
+      "falls with time); on helical-rated media even the best policy burns "
+      "whole percents of media life per few hundred batches — the paper's "
+      "argument for serpentine tape in online service.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Extension: how the scheduling gain depends on the access pattern. The
+// paper evaluates uniformly random requests ("a workload that does not
+// exhibit locality or sequentiality"); database workloads are often skewed
+// or clustered, which changes how much a scheduler can save.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "serpentine/sched/estimator.h"
+#include "serpentine/workload/generators.h"
+
+using namespace serpentine;
+
+int main() {
+  bench::PrintHeader("Workload comparison (extension)",
+                     "FIFO vs LOSS mean execution seconds per workload, "
+                     "N=192, random start");
+
+  tape::Dlt4000LocateModel model = bench::MakeTapeAModel();
+  tape::SegmentId total = model.geometry().total_segments();
+  constexpr int kN = 192;
+  const int trials = static_cast<int>(
+      std::max<int64_t>(8, bench::TrialsFor(kN) / 10));
+
+  auto generators = [&]() {
+    std::vector<std::unique_ptr<workload::RequestGenerator>> gens;
+    gens.push_back(std::make_unique<workload::UniformGenerator>(total, 3));
+    gens.push_back(
+        std::make_unique<workload::ZipfGenerator>(total, 4096, 0.9, 3));
+    gens.push_back(std::make_unique<workload::ClusteredGenerator>(
+        total, /*clusters=*/8, /*span=*/20000, 3));
+    gens.push_back(std::make_unique<workload::SequentialRunGenerator>(
+        total, /*run_length=*/64, 3));
+    return gens;
+  }();
+
+  Table table;
+  table.SetHeader({"workload", "FIFO s", "LOSS s", "speedup",
+                   "LOSS s/request"});
+  Lrand48 initial_rng(9);
+  for (auto& gen : generators) {
+    double fifo_sum = 0, loss_sum = 0;
+    for (int t = 0; t < trials; ++t) {
+      tape::SegmentId initial = initial_rng.NextBounded(total);
+      auto batch = gen->Batch(kN);
+      auto fifo =
+          sched::BuildSchedule(model, initial, batch, sched::Algorithm::kFifo);
+      auto loss =
+          sched::BuildSchedule(model, initial, batch, sched::Algorithm::kLoss);
+      if (!fifo.ok() || !loss.ok()) return 1;
+      fifo_sum += sched::EstimateScheduleSeconds(model, *fifo);
+      loss_sum += sched::EstimateScheduleSeconds(model, *loss);
+    }
+    double fifo_mean = fifo_sum / trials, loss_mean = loss_sum / trials;
+    table.AddRow({gen->name(), Table::Num(fifo_mean, 0),
+                  Table::Num(loss_mean, 0),
+                  Table::Num(fifo_mean / loss_mean, 2),
+                  Table::Num(loss_mean / kN, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: clustered and skewed access amplify the scheduling gain "
+      "(requests share sections, so a good order converts most locates "
+      "into cheap in-section reads); uniform is the paper's worst case for "
+      "absolute latency but still ~2.5x over FIFO.\n");
+  return 0;
+}

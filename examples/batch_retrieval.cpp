@@ -1,0 +1,79 @@
+// Batch retrieval through the TertiaryStore: an application submits
+// asynchronous reads against a cartridge while the store batches them and
+// services each batch with a scheduled pass — the paper's proposed usage
+// for online database access to tape.
+//
+// Scenario: a warehouse query engine needs 300 scattered 1 MB objects
+// (32 segments each). We compare per-object service cost for three
+// policies: no batching (FIFO-like), batches of 25, and one big batch.
+#include <cstdio>
+
+#include "serpentine/store/store.h"
+#include "serpentine/util/lrand48.h"
+
+using namespace serpentine;
+
+namespace {
+
+struct PolicyResult {
+  double busy_seconds;
+  double wall_seconds;
+  double mean_response;
+};
+
+PolicyResult Run(int flush_every, int objects) {
+  store::StoreOptions options;
+  options.algorithm = sched::Algorithm::kLoss;
+  options.cache_segments = 0;
+  store::TertiaryStore st(
+      options, store::TapeLibrary(tape::Dlt4000TapeParams(), /*cartridges=*/1,
+                                  tape::Dlt4000Timings()));
+  tape::SegmentId total =
+      st.library().model(0).geometry().total_segments();
+  constexpr int64_t kObjectSegments = 32;  // 1 MB objects
+
+  Lrand48 rng(7);
+  double response_sum = 0.0;
+  int completed = 0;
+  for (int i = 0; i < objects; ++i) {
+    tape::SegmentId seg =
+        rng.NextBounded(total - kObjectSegments);
+    if (!st.SubmitRead(0, seg, kObjectSegments).ok()) std::abort();
+    st.library().Idle(10.0);  // queries arrive every 10 s
+    if ((i + 1) % flush_every == 0 || i + 1 == objects) {
+      auto report = st.Flush();
+      if (!report.ok()) std::abort();
+      for (const auto& c : report->completed) {
+        response_sum += c.response_seconds();
+        ++completed;
+      }
+    }
+  }
+  return PolicyResult{st.library().busy_seconds(), st.library().now(),
+                      response_sum / completed};
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kObjects = 300;
+  std::printf("300 scattered 1 MB objects from one DLT4000 cartridge, "
+              "arriving every 10 s\n\n");
+  std::printf("%-18s %14s %14s %16s\n", "policy", "drive busy s",
+              "busy s/object", "mean response s");
+  struct {
+    const char* name;
+    int flush_every;
+  } policies[] = {
+      {"no batching", 1}, {"batch of 25", 25}, {"one big batch", kObjects}};
+  for (const auto& p : policies) {
+    PolicyResult r = Run(p.flush_every, kObjects);
+    std::printf("%-18s %14.0f %14.1f %16.0f\n", p.name, r.busy_seconds,
+                r.busy_seconds / kObjects, r.mean_response);
+  }
+  std::printf(
+      "\nBatching amortizes tape positioning: bigger windows cut drive-busy "
+      "time per object severalfold, at the price of queueing delay — the "
+      "paper's core trade-off, served through the store API.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Data-mining workload (paper §1): "tens of thousands of queries are
+// aggregated, and satisfied during one complete sequential scan of the
+// data". Contrasts three ways to satisfy 5,000 point queries against one
+// cartridge:
+//   1. unscheduled random service (FIFO)      — catastrophic
+//   2. LOSS-scheduled batch                   — good
+//   3. one full sequential scan (READ)        — best at this density
+// demonstrating the paper's READ/LOSS crossover beyond ~1536 requests.
+#include <cstdio>
+
+#include "serpentine/sched/estimator.h"
+#include "serpentine/sched/scheduler.h"
+#include "serpentine/tape/locate_model.h"
+#include "serpentine/util/lrand48.h"
+
+using namespace serpentine;
+
+int main() {
+  tape::Dlt4000LocateModel model(
+      tape::TapeGeometry::Generate(tape::Dlt4000TapeParams(), 1),
+      tape::Dlt4000Timings());
+  const tape::SegmentId total = model.geometry().total_segments();
+
+  constexpr int kQueries = 5000;
+  Lrand48 rng(3);
+  std::vector<sched::Request> requests;
+  for (int i = 0; i < kQueries; ++i)
+    requests.push_back(sched::Request{rng.NextBounded(total), 1});
+
+  std::printf("%d aggregated point queries against one 20 GB cartridge\n\n",
+              kQueries);
+  std::printf("%-22s %12s %10s %12s\n", "strategy", "time", "hours",
+              "I/O per hour");
+  for (sched::Algorithm a : {sched::Algorithm::kFifo, sched::Algorithm::kLoss,
+                             sched::Algorithm::kRead}) {
+    auto s = sched::BuildSchedule(model, 0, requests, a);
+    if (!s.ok()) std::abort();
+    double t = sched::EstimateScheduleSeconds(model, *s);
+    std::printf("%-22s %10.0f s %9.2f h %12.0f\n", sched::AlgorithmName(a), t,
+                t / 3600.0, kQueries / (t / 3600.0));
+  }
+  std::printf(
+      "\nAt this density (one request per ~124 segments) the batch is past "
+      "the paper's ~1536-request crossover: a single sequential scan beats "
+      "even the best locate schedule, which is why aggregated data-mining "
+      "scans were tape's classic success story.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Per-algorithm entry points, internal to the sched library. Each returns
+// the service order for `requests` starting from head position `initial`.
+// Input request vectors are taken by value where the algorithm reorders in
+// place.
+#ifndef SERPENTINE_SCHED_INTERNAL_H_
+#define SERPENTINE_SCHED_INTERNAL_H_
+
+#include <vector>
+
+#include "serpentine/sched/request.h"
+#include "serpentine/sched/scheduler.h"
+#include "serpentine/tape/locate_model.h"
+#include "serpentine/util/statusor.h"
+
+namespace serpentine::sched::internal {
+
+std::vector<Request> ScheduleSort(std::vector<Request> requests);
+
+serpentine::StatusOr<std::vector<Request>> ScheduleOpt(
+    const tape::LocateModel& model, tape::SegmentId initial,
+    const std::vector<Request>& requests);
+
+std::vector<Request> ScheduleSltfNaive(const tape::LocateModel& model,
+                                       tape::SegmentId initial,
+                                       std::vector<Request> requests);
+
+std::vector<Request> ScheduleSltfSectioned(const tape::LocateModel& model,
+                                           tape::SegmentId initial,
+                                           std::vector<Request> requests);
+
+std::vector<Request> ScheduleSltfCoalesced(const tape::LocateModel& model,
+                                           tape::SegmentId initial,
+                                           std::vector<Request> requests,
+                                           int64_t threshold);
+
+std::vector<Request> ScheduleScan(const tape::TapeGeometry& geometry,
+                                  std::vector<Request> requests);
+
+std::vector<Request> ScheduleWeave(const tape::TapeGeometry& geometry,
+                                   tape::SegmentId initial,
+                                   std::vector<Request> requests);
+
+std::vector<Request> ScheduleLoss(const tape::LocateModel& model,
+                                  tape::SegmentId initial,
+                                  std::vector<Request> requests,
+                                  int64_t coalesce_threshold);
+
+std::vector<Request> ScheduleSparseLoss(const tape::LocateModel& model,
+                                        tape::SegmentId initial,
+                                        std::vector<Request> requests,
+                                        int64_t coalesce_threshold,
+                                        int edges_per_city);
+
+}  // namespace serpentine::sched::internal
+
+#endif  // SERPENTINE_SCHED_INTERNAL_H_

@@ -1,0 +1,100 @@
+#include "serpentine/sched/local_search.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "serpentine/sched/estimator.h"
+#include "serpentine/util/check.h"
+
+namespace serpentine::sched {
+namespace {
+
+/// Flat view of the path: node 0 is the start position, nodes 1..n are the
+/// requests in service order.
+class PathView {
+ public:
+  PathView(const tape::LocateModel& model, const Schedule& schedule)
+      : model_(model),
+        geometry_(model.geometry()),
+        initial_(schedule.initial_position) {}
+
+  /// Locate cost of traveling a -> b where a, b are node indices into
+  /// `order` (0 = start).
+  double Edge(const std::vector<Request>& order, int a, int b) const {
+    tape::SegmentId from =
+        a == 0 ? initial_ : OutPosition(geometry_, order[a - 1]);
+    return model_.LocateSeconds(from, order[b - 1].segment);
+  }
+
+ private:
+  const tape::LocateModel& model_;
+  const tape::TapeGeometry& geometry_;
+  tape::SegmentId initial_;
+};
+
+}  // namespace
+
+LocalSearchStats ImproveSchedule(const tape::LocateModel& model,
+                                 Schedule* schedule,
+                                 const LocalSearchOptions& options) {
+  LocalSearchStats stats;
+  SERPENTINE_CHECK(schedule != nullptr);
+  if (schedule->full_tape_scan) return stats;
+  int n = static_cast<int>(schedule->order.size());
+  if (n < 2) return stats;
+
+  PathView path(model, *schedule);
+  std::vector<Request>& order = schedule->order;
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    ++stats.passes;
+    bool improved = false;
+    for (int block = 1; block <= options.max_block && block < n; ++block) {
+      // Move order[i-1 .. i+block-2] (nodes i .. i+block-1).
+      for (int i = 1; i + block - 1 <= n; ++i) {
+        int last = i + block - 1;  // last node of the block
+        // Cost removed when the block is lifted out: the edge into the
+        // block, the edge out of it, minus the new bridging edge.
+        double into = path.Edge(order, i - 1, i);
+        double out_of =
+            last < n ? path.Edge(order, last, last + 1) : 0.0;
+        double bridge =
+            last < n ? path.Edge(order, i - 1, last + 1) : 0.0;
+        double removal_gain = into + out_of - bridge;
+        if (removal_gain <= options.min_gain_seconds) continue;
+
+        // Try every insertion position j (after node j), outside the
+        // block and different from the current position.
+        for (int j = 0; j <= n; ++j) {
+          if (j >= i - 1 && j <= last) continue;
+          // Inserting between nodes j and j+1 (j+1 may not exist).
+          double old_edge =
+              (j < n) ? path.Edge(order, j, j + 1) : 0.0;
+          double in_edge = path.Edge(order, j, i);
+          double out_edge =
+              (j < n) ? path.Edge(order, last, j + 1) : 0.0;
+          double insertion_cost = in_edge + out_edge - old_edge;
+          double gain = removal_gain - insertion_cost;
+          if (gain <= options.min_gain_seconds) continue;
+
+          // Apply the move: rotate the block next to position j.
+          auto first_it = order.begin() + (i - 1);
+          auto last_it = order.begin() + last;  // one past block
+          if (j > last) {
+            std::rotate(first_it, last_it, order.begin() + j);
+          } else {  // j < i - 1
+            std::rotate(order.begin() + j, first_it, last_it);
+          }
+          ++stats.moves;
+          stats.seconds_saved += gain;
+          improved = true;
+          break;  // indices shifted; rescan this block length
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return stats;
+}
+
+}  // namespace serpentine::sched

@@ -1,0 +1,42 @@
+// Or-opt local search: polish any schedule by relocating short blocks of
+// requests to cheaper positions. The paper leaves "a more sophisticated
+// algorithm, such as that in [CDT95]" as future work; Or-opt is the
+// classic cheap improvement step for asymmetric TSP paths (block moves
+// preserve edge directions, unlike 2-opt segment reversal, which is
+// expensive to evaluate under asymmetric costs).
+#ifndef SERPENTINE_SCHED_LOCAL_SEARCH_H_
+#define SERPENTINE_SCHED_LOCAL_SEARCH_H_
+
+#include "serpentine/sched/request.h"
+#include "serpentine/tape/locate_model.h"
+
+namespace serpentine::sched {
+
+struct LocalSearchOptions {
+  /// Largest block of consecutive requests considered for relocation.
+  int max_block = 3;
+  /// Upper bound on full improvement sweeps (each sweep is O(n² ·
+  /// max_block) locate evaluations); the search also stops at the first
+  /// sweep with no improvement.
+  int max_passes = 8;
+  /// Keep a move only if it shortens the estimated schedule by more than
+  /// this many seconds (guards against float-noise churn).
+  double min_gain_seconds = 1e-6;
+};
+
+struct LocalSearchStats {
+  int passes = 0;
+  int moves = 0;
+  double seconds_saved = 0.0;
+};
+
+/// Improves `schedule` in place by Or-opt block relocation until no move
+/// helps (or max_passes). Returns the improvement statistics. No-op for
+/// READ schedules (their execution ignores the order).
+LocalSearchStats ImproveSchedule(const tape::LocateModel& model,
+                                 Schedule* schedule,
+                                 const LocalSearchOptions& options = {});
+
+}  // namespace serpentine::sched
+
+#endif  // SERPENTINE_SCHED_LOCAL_SEARCH_H_

@@ -1,0 +1,140 @@
+// LOSS and SPARSE_LOSS scheduling (paper §4): cast the batch as an open
+// asymmetric-TSP path and run the greedy loss heuristic, optionally after
+// coalescing nearby requests into representatives, optionally on a sparse
+// weave-order candidate graph with path contraction.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "serpentine/sched/coalesce.h"
+#include "serpentine/sched/internal.h"
+#include "serpentine/sched/weave_pattern.h"
+#include "serpentine/tsp/cost_matrix.h"
+#include "serpentine/tsp/loss.h"
+#include "serpentine/tsp/sparse_loss.h"
+#include "serpentine/util/check.h"
+
+namespace serpentine::sched::internal {
+namespace {
+
+/// Head position after servicing a coalesced group.
+tape::SegmentId GroupOut(const tape::TapeGeometry& g,
+                         const CoalescedGroup& group) {
+  return std::min<tape::SegmentId>(group.last() + 1, g.total_segments() - 1);
+}
+
+/// City-indexed positions for the TSP formulation: city 0 is the initial
+/// head position, city i >= 1 is groups[i-1].
+struct CityMap {
+  tape::SegmentId In(const std::vector<CoalescedGroup>& groups,
+                     tape::SegmentId initial, int city) const {
+    return city == 0 ? initial : groups[city - 1].in();
+  }
+  tape::SegmentId Out(const tape::TapeGeometry& g,
+                      const std::vector<CoalescedGroup>& groups,
+                      tape::SegmentId initial, int city) const {
+    return city == 0 ? initial : GroupOut(g, groups[city - 1]);
+  }
+};
+
+std::vector<Request> ExpandOrder(const std::vector<CoalescedGroup>& groups,
+                                 const std::vector<int>& city_order) {
+  std::vector<int> visit;
+  visit.reserve(groups.size());
+  for (int city : city_order) {
+    if (city != 0) visit.push_back(city - 1);
+  }
+  return FlattenGroups(groups, visit);
+}
+
+}  // namespace
+
+std::vector<Request> ScheduleLoss(const tape::LocateModel& model,
+                                  tape::SegmentId initial,
+                                  std::vector<Request> requests,
+                                  int64_t coalesce_threshold) {
+  if (requests.size() <= 1) return requests;
+  const tape::TapeGeometry& g = model.geometry();
+  std::vector<CoalescedGroup> groups =
+      CoalesceRequests(std::move(requests), coalesce_threshold);
+  int cities = static_cast<int>(groups.size()) + 1;
+  CityMap map;
+  tsp::CostMatrix m = tsp::CostMatrix::Build(cities, [&](int i, int j) {
+    return model.LocateSeconds(map.Out(g, groups, initial, i),
+                               map.In(groups, initial, j));
+  });
+  return ExpandOrder(groups, tsp::SolveLossPath(m));
+}
+
+std::vector<Request> ScheduleSparseLoss(const tape::LocateModel& model,
+                                        tape::SegmentId initial,
+                                        std::vector<Request> requests,
+                                        int64_t coalesce_threshold,
+                                        int edges_per_city) {
+  if (requests.size() <= 1) return requests;
+  const tape::TapeGeometry& g = model.geometry();
+  const int sections = g.sections_per_track();
+  std::vector<CoalescedGroup> groups =
+      CoalesceRequests(std::move(requests), coalesce_threshold);
+  int cities = static_cast<int>(groups.size()) + 1;
+  CityMap map;
+
+  if (edges_per_city <= 0) {
+    edges_per_city = std::max(
+        4, 2 * static_cast<int>(std::ceil(std::log2(cities))));
+  }
+
+  // Index cities (including the start) by the (track, physical section) of
+  // their in-position, so each city's candidates can be gathered in weave
+  // order.
+  std::vector<std::vector<int>> cities_in_bucket(
+      static_cast<size_t>(g.num_tracks()) * sections);
+  auto bucket_of = [&](tape::SegmentId seg) {
+    tape::Coord c = g.ToCoord(seg);
+    return static_cast<size_t>(c.track) * sections + c.physical_section;
+  };
+  for (int city = 1; city < cities; ++city) {
+    cities_in_bucket[bucket_of(map.In(groups, initial, city))].push_back(
+        city);
+  }
+
+  std::vector<std::vector<tsp::SparseEdge>> out_edges(cities);
+  for (int city = 0; city < cities; ++city) {
+    tape::SegmentId from = map.Out(g, groups, initial, city);
+    tape::Coord here = g.ToCoord(from);
+    auto& edges = out_edges[city];
+    for (const WeaveStep& step :
+         WeavePattern(g, here.track, here.physical_section)) {
+      for (int t = 0; t < g.num_tracks(); ++t) {
+        bool same = t == here.track;
+        bool co = g.IsForwardTrack(t) == g.IsForwardTrack(here.track);
+        bool match =
+            (step.track_class == TrackClass::kSameTrack && same) ||
+            (step.track_class == TrackClass::kCoDirectional && co &&
+             !same) ||
+            (step.track_class == TrackClass::kAntiDirectional && !co);
+        if (!match) continue;
+        for (int target :
+             cities_in_bucket[static_cast<size_t>(t) * sections +
+                              step.physical_section]) {
+          if (target == city) continue;
+          edges.push_back(tsp::SparseEdge{
+              target,
+              model.LocateSeconds(from, map.In(groups, initial, target))});
+          if (static_cast<int>(edges.size()) >= edges_per_city) break;
+        }
+        if (static_cast<int>(edges.size()) >= edges_per_city) break;
+      }
+      if (static_cast<int>(edges.size()) >= edges_per_city) break;
+    }
+  }
+
+  std::vector<int> order = tsp::SolveSparseLossPath(
+      cities, out_edges, [&](int i, int j) {
+        return model.LocateSeconds(map.Out(g, groups, initial, i),
+                                   map.In(groups, initial, j));
+      });
+  return ExpandOrder(groups, order);
+}
+
+}  // namespace serpentine::sched::internal

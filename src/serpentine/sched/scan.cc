@@ -1,0 +1,65 @@
+// SCAN — the elevator algorithm for serpentine tape (paper §4, Fig 2):
+// shuttle up the tape reading sections of forward tracks, then back down
+// reading sections of reverse tracks, repeating until all requests are
+// scheduled. One (track, section) bucket is consumed per physical section
+// per pass.
+#include <algorithm>
+#include <vector>
+
+#include "serpentine/sched/internal.h"
+#include "serpentine/util/check.h"
+
+namespace serpentine::sched::internal {
+
+std::vector<Request> ScheduleScan(const tape::TapeGeometry& geometry,
+                                  std::vector<Request> requests) {
+  const int sections = geometry.sections_per_track();
+  const int tracks = geometry.num_tracks();
+
+  // bucket[t][x]: requests in track t, physical section x, ascending.
+  std::vector<std::vector<std::vector<Request>>> bucket(
+      tracks, std::vector<std::vector<Request>>(sections));
+  std::sort(requests.begin(), requests.end(),
+            [](const Request& a, const Request& b) {
+              return a.segment < b.segment;
+            });
+  for (const Request& r : requests) {
+    tape::Coord c = geometry.ToCoord(r.segment);
+    bucket[c.track][c.physical_section].push_back(r);
+  }
+
+  std::vector<Request> out;
+  out.reserve(requests.size());
+  size_t remaining = requests.size();
+  while (remaining > 0) {
+    size_t before = remaining;
+    // Up pass: physical sections 0..13 on forward tracks.
+    for (int x = 0; x < sections && remaining > 0; ++x) {
+      for (int t = 0; t < tracks; t += 2) {
+        auto& b = bucket[t][x];
+        if (b.empty()) continue;
+        remaining -= b.size();
+        out.insert(out.end(), b.begin(), b.end());
+        b.clear();
+        break;  // one (track, section) per section per pass
+      }
+    }
+    // Down pass: physical sections 13..0 on reverse tracks.
+    for (int x = sections - 1; x >= 0 && remaining > 0; --x) {
+      for (int t = 1; t < tracks; t += 2) {
+        auto& b = bucket[t][x];
+        if (b.empty()) continue;
+        remaining -= b.size();
+        out.insert(out.end(), b.begin(), b.end());
+        b.clear();
+        break;
+      }
+    }
+    // Each full shuttle must make progress (every non-empty bucket is
+    // eligible in one of the two passes).
+    SERPENTINE_CHECK(remaining < before || remaining == 0);
+  }
+  return out;
+}
+
+}  // namespace serpentine::sched::internal

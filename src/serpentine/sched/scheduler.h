@@ -1,0 +1,52 @@
+// Public scheduling API: build a service order for a batch of random
+// requests with any of the paper's algorithms (§4).
+#ifndef SERPENTINE_SCHED_SCHEDULER_H_
+#define SERPENTINE_SCHED_SCHEDULER_H_
+
+#include <vector>
+
+#include "serpentine/sched/coalesce.h"
+#include "serpentine/sched/request.h"
+#include "serpentine/tape/locate_model.h"
+#include "serpentine/util/statusor.h"
+
+namespace serpentine::sched {
+
+/// Tuning knobs; the defaults reproduce the paper's reported configuration.
+struct SchedulerOptions {
+  /// Coalescing threshold (segments) for LOSS and SPARSE_LOSS. For LOSS,
+  /// 0 disables coalescing (the configuration behind the paper's LOSS
+  /// curves and CPU times) and kDefaultCoalesceThreshold (1410) is the
+  /// paper's recommended value for the coalesced variant. SPARSE_LOSS
+  /// always coalesces (its preprocessing step in the paper's sketch): 0
+  /// selects the default threshold.
+  int64_t loss_coalesce_threshold = 0;
+
+  /// When true, SLTF uses the textbook O(n²) greedy; otherwise the paper's
+  /// optimized O(n log n + k²) section-based equivalent.
+  bool sltf_naive = false;
+
+  /// Coalescing threshold for SLTF's aggressive variant; 0 keeps the
+  /// default section-based behavior.
+  int64_t sltf_coalesce_threshold = 0;
+
+  /// Candidate out-edges per city for SPARSE_LOSS; 0 picks
+  /// max(4, 2·ceil(log2(cities))) per the paper's "logarithmic number of
+  /// out-edges".
+  int sparse_edges_per_city = 0;
+};
+
+/// Reorders `requests` for minimal execution time starting from
+/// `initial_position`, using `algorithm`.
+///
+/// Fails with InvalidArgument if OPT is asked for more requests than the
+/// exact solver supports (the paper itself stops OPT at 12), or if any
+/// request lies outside the tape.
+serpentine::StatusOr<Schedule> BuildSchedule(
+    const tape::LocateModel& model, tape::SegmentId initial_position,
+    std::vector<Request> requests, Algorithm algorithm,
+    const SchedulerOptions& options = {});
+
+}  // namespace serpentine::sched
+
+#endif  // SERPENTINE_SCHED_SCHEDULER_H_

@@ -1,0 +1,38 @@
+#include "serpentine/sched/selector.h"
+
+#include "serpentine/sched/estimator.h"
+
+namespace serpentine::sched {
+
+Algorithm RecommendedAlgorithm(int n, int opt_cutoff, int read_cutoff) {
+  if (n <= opt_cutoff) return Algorithm::kOpt;
+  if (n <= read_cutoff) return Algorithm::kLoss;
+  return Algorithm::kRead;
+}
+
+serpentine::StatusOr<Schedule> BuildBestSchedule(
+    const tape::LocateModel& model, tape::SegmentId initial_position,
+    std::vector<Request> requests, const SelectorOptions& options) {
+  Algorithm algorithm =
+      static_cast<int>(requests.size()) <= options.opt_cutoff
+          ? Algorithm::kOpt
+          : options.heuristic;
+  SERPENTINE_ASSIGN_OR_RETURN(
+      Schedule schedule,
+      BuildSchedule(model, initial_position, requests, algorithm,
+                    options.scheduler_options));
+  if (options.compare_with_full_read && algorithm != Algorithm::kOpt) {
+    // The READ baseline ignores the order, so just compare totals.
+    double scheduled = EstimateScheduleSeconds(model, schedule);
+    const tape::TapeGeometry& g = model.geometry();
+    double full_read = model.ReadSeconds(0, g.total_segments() - 1) +
+                       model.RewindSeconds(g.total_segments() - 1);
+    if (full_read < scheduled) {
+      return BuildSchedule(model, initial_position, std::move(requests),
+                           Algorithm::kRead, options.scheduler_options);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace serpentine::sched

@@ -1,0 +1,53 @@
+// SORT and OPT (paper §4). FIFO and READ need no reordering logic and live
+// in the facade.
+#include <algorithm>
+
+#include "serpentine/sched/estimator.h"
+#include "serpentine/sched/internal.h"
+#include "serpentine/tsp/cost_matrix.h"
+#include "serpentine/tsp/exact.h"
+
+namespace serpentine::sched::internal {
+
+std::vector<Request> ScheduleSort(std::vector<Request> requests) {
+  std::sort(requests.begin(), requests.end(),
+            [](const Request& a, const Request& b) {
+              return a.segment < b.segment;
+            });
+  return requests;
+}
+
+StatusOr<std::vector<Request>> ScheduleOpt(
+    const tape::LocateModel& model, tape::SegmentId initial,
+    const std::vector<Request>& requests) {
+  int n = static_cast<int>(requests.size());
+  if (n > tsp::kMaxHeldKarpCities) {
+    return InvalidArgumentError(
+        "OPT is exact and exponential; limited to " +
+        std::to_string(tsp::kMaxHeldKarpCities) +
+        " requests (the paper stops at 12)");
+  }
+  if (n <= 1) return requests;
+
+  const tape::TapeGeometry& g = model.geometry();
+  // City 0 is the initial head position; city j (j >= 1) is request j-1.
+  // Edge weight is the locate time from the end of one request to the
+  // start of the next; read times are order-independent and excluded.
+  tsp::CostMatrix m = tsp::CostMatrix::Build(n + 1, [&](int i, int j) {
+    tape::SegmentId from =
+        i == 0 ? initial : OutPosition(g, requests[i - 1]);
+    return model.LocateSeconds(from, requests[j - 1].segment);
+  });
+  SERPENTINE_ASSIGN_OR_RETURN(std::vector<int> order,
+                              tsp::SolveExactHeldKarp(m));
+
+  std::vector<Request> out;
+  out.reserve(requests.size());
+  for (int city : order) {
+    if (city == 0) continue;
+    out.push_back(requests[city - 1]);
+  }
+  return out;
+}
+
+}  // namespace serpentine::sched::internal

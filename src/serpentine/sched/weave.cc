@@ -1,0 +1,89 @@
+// WEAVE (paper §4): follow the predefined weave-pattern ordering of
+// sections from the current section; consume the first section found that
+// still has pending requests; repeat from there. Needs no locate-time
+// queries at all — O(n) in sections visited.
+#include <algorithm>
+#include <vector>
+
+#include "serpentine/sched/internal.h"
+#include "serpentine/sched/weave_pattern.h"
+#include "serpentine/util/check.h"
+
+namespace serpentine::sched::internal {
+
+std::vector<Request> ScheduleWeave(const tape::TapeGeometry& geometry,
+                                   tape::SegmentId initial,
+                                   std::vector<Request> requests) {
+  if (requests.empty()) return requests;
+  const int sections = geometry.sections_per_track();
+  const int tracks = geometry.num_tracks();
+
+  std::vector<std::vector<std::vector<Request>>> bucket(
+      tracks, std::vector<std::vector<Request>>(sections));
+  std::sort(requests.begin(), requests.end(),
+            [](const Request& a, const Request& b) {
+              return a.segment < b.segment;
+            });
+  for (const Request& r : requests) {
+    tape::Coord c = geometry.ToCoord(r.segment);
+    bucket[c.track][c.physical_section].push_back(r);
+  }
+  // per_section_tracks[x]: tracks with pending requests in physical
+  // section x, ascending, so the first matching track of a class is found
+  // quickly.
+  std::vector<std::vector<int>> per_section_tracks(sections);
+  for (int t = 0; t < tracks; ++t)
+    for (int x = 0; x < sections; ++x)
+      if (!bucket[t][x].empty()) per_section_tracks[x].push_back(t);
+
+  std::vector<Request> out;
+  out.reserve(requests.size());
+  size_t remaining = requests.size();
+
+  tape::Coord here = geometry.ToCoord(initial);
+  while (remaining > 0) {
+    bool advanced = false;
+    for (const WeaveStep& step :
+         WeavePattern(geometry, here.track, here.physical_section)) {
+      // Resolve the step's track class to a concrete track with pending
+      // requests in that section (lowest numbered first).
+      int found = -1;
+      for (int t : per_section_tracks[step.physical_section]) {
+        bool same = t == here.track;
+        bool co_directional = geometry.IsForwardTrack(t) ==
+                              geometry.IsForwardTrack(here.track);
+        bool match = false;
+        switch (step.track_class) {
+          case TrackClass::kSameTrack:
+            match = same;
+            break;
+          case TrackClass::kCoDirectional:
+            match = co_directional && !same;
+            break;
+          case TrackClass::kAntiDirectional:
+            match = !co_directional;
+            break;
+        }
+        if (match) {
+          found = t;
+          break;
+        }
+      }
+      if (found < 0) continue;
+
+      auto& b = bucket[found][step.physical_section];
+      remaining -= b.size();
+      out.insert(out.end(), b.begin(), b.end());
+      b.clear();
+      auto& list = per_section_tracks[step.physical_section];
+      list.erase(std::find(list.begin(), list.end(), found));
+      here = tape::Coord{found, step.physical_section, 0};
+      advanced = true;
+      break;
+    }
+    SERPENTINE_CHECK(advanced);  // the pattern enumerates every section
+  }
+  return out;
+}
+
+}  // namespace serpentine::sched::internal

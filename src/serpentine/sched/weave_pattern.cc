@@ -1,0 +1,75 @@
+#include "serpentine/sched/weave_pattern.h"
+
+#include "serpentine/util/check.h"
+
+namespace serpentine::sched {
+namespace {
+
+/// flip: 0..13 → 1,0,2..11,13,12 (paper §4). Identity away from the ends.
+int Flip(int s, int sections) {
+  if (s == 0) return 1;
+  if (s == 1) return 0;
+  if (s == sections - 1) return sections - 2;
+  if (s == sections - 2) return sections - 1;
+  return s;
+}
+
+}  // namespace
+
+std::vector<WeaveStep> WeavePattern(const tape::TapeGeometry& geometry,
+                                    int track, int physical_section) {
+  const int sections = geometry.sections_per_track();
+  SERPENTINE_CHECK_GE(physical_section, 0);
+  SERPENTINE_CHECK_LT(physical_section, sections);
+  const int dir = geometry.IsForwardTrack(track) ? +1 : -1;
+  const int s = physical_section;
+
+  auto fwd = [&](int from, int n) { return from + dir * n; };
+  auto rev = [&](int from, int n) { return from - dir * n; };
+
+  std::vector<WeaveStep> out;
+  out.reserve(3 * sections);
+  // seen[class][section]
+  std::vector<std::vector<bool>> seen(3, std::vector<bool>(sections, false));
+  auto push = [&](TrackClass cls, int section) {
+    if (section < 0 || section >= sections) return;
+    auto c = static_cast<size_t>(cls);
+    if (seen[c][section]) return;
+    seen[c][section] = true;
+    out.push_back(WeaveStep{cls, section});
+  };
+
+  constexpr TrackClass kT = TrackClass::kSameTrack;
+  constexpr TrackClass kCT = TrackClass::kCoDirectional;
+  constexpr TrackClass kAT = TrackClass::kAntiDirectional;
+
+  // Prelude, cheapest expected locate first.
+  push(kT, s);
+  push(kT, fwd(s, 1));
+  push(kT, fwd(s, 2));
+  push(kCT, fwd(s, 2));
+  push(kAT, rev(s, 1));
+  push(kCT, fwd(s, 1));
+  push(kAT, rev(s, 2));
+
+  for (int i = 0; i < sections; ++i) {
+    int fi = fwd(s, i);
+    int ri = rev(s, i);
+    if (fi >= 0 && fi < sections) push(kAT, Flip(fi, sections));
+    push(kT, fwd(s, i + 3));
+    push(kCT, fwd(s, i + 3));
+    if (ri >= 0 && ri < sections) push(kT, Flip(ri, sections));
+    if (ri >= 0 && ri < sections) push(kCT, Flip(ri, sections));
+    push(kAT, rev(s, i + 3));
+  }
+
+  // Completeness fallback: the published pattern can leave a few
+  // (class, section) pairs unvisited near the tape ends; append them so
+  // WEAVE always terminates.
+  for (TrackClass cls : {kT, kCT, kAT}) {
+    for (int x = 0; x < sections; ++x) push(cls, x);
+  }
+  return out;
+}
+
+}  // namespace serpentine::sched

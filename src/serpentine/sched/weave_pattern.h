@@ -1,0 +1,46 @@
+// The weave pattern (paper §4, WEAVE): a predefined ordering of the tape's
+// sections relative to a starting section, visiting nearby-in-locate-time
+// sections before far ones, without any locate-time queries.
+#ifndef SERPENTINE_SCHED_WEAVE_PATTERN_H_
+#define SERPENTINE_SCHED_WEAVE_PATTERN_H_
+
+#include <vector>
+
+#include "serpentine/tape/geometry.h"
+
+namespace serpentine::sched {
+
+/// Which tracks a weave step addresses, relative to the current track.
+enum class TrackClass {
+  kSameTrack,        ///< T: the current track
+  kCoDirectional,    ///< CT: other tracks with the same direction
+  kAntiDirectional,  ///< AT: tracks with the opposite direction
+};
+
+/// One step of the weave pattern: consider the given physical section on
+/// tracks of the given class.
+struct WeaveStep {
+  TrackClass track_class;
+  int physical_section;
+
+  bool operator==(const WeaveStep&) const = default;
+};
+
+/// Enumerates sections in weave order from (track, physical_section).
+///
+/// Follows the paper's specification: the prelude
+///   (T,S) (T,fwd1) (T,fwd2) (CT,fwd2) (AT,rev1) (CT,fwd1) (AT,rev2)
+/// then for i = 0..13:
+///   (AT,flip(fwd(S,i))) (T,fwd(S,i+3)) (CT,fwd(S,i+3))
+///   (T,flip(rev(S,i)))  (CT,flip(rev(S,i))) (AT,rev(S,i+3))
+/// where fwd/rev move with/against the current track's reading direction,
+/// flip exchanges the section numbers at the tape ends (0↔1, 12↔13), and
+/// out-of-range or already-seen steps are dropped. Any (class, section)
+/// combination the published pattern leaves unvisited is appended at the
+/// end so a full enumeration always covers all 3×sections combinations.
+std::vector<WeaveStep> WeavePattern(const tape::TapeGeometry& geometry,
+                                    int track, int physical_section);
+
+}  // namespace serpentine::sched
+
+#endif  // SERPENTINE_SCHED_WEAVE_PATTERN_H_

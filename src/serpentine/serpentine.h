@@ -1,0 +1,52 @@
+// Umbrella header: the whole public API of the serpentine library.
+//
+// Layering (each includes only the ones above it):
+//   util  -> tape -> tsp -> sched -> sim/workload -> store
+#ifndef SERPENTINE_SERPENTINE_H_
+#define SERPENTINE_SERPENTINE_H_
+
+#include "serpentine/util/check.h"
+#include "serpentine/util/env.h"
+#include "serpentine/util/lrand48.h"
+#include "serpentine/util/stats.h"
+#include "serpentine/util/status.h"
+#include "serpentine/util/statusor.h"
+#include "serpentine/util/table.h"
+
+#include "serpentine/tape/calibration.h"
+#include "serpentine/tape/geometry.h"
+#include "serpentine/tape/keypoint_io.h"
+#include "serpentine/tape/locate_model.h"
+#include "serpentine/tape/params.h"
+#include "serpentine/tape/types.h"
+
+#include "serpentine/tsp/cost_matrix.h"
+#include "serpentine/tsp/exact.h"
+#include "serpentine/tsp/loss.h"
+#include "serpentine/tsp/sparse_loss.h"
+
+#include "serpentine/sched/coalesce.h"
+#include "serpentine/sched/estimator.h"
+#include "serpentine/sched/local_search.h"
+#include "serpentine/sched/request.h"
+#include "serpentine/sched/scheduler.h"
+#include "serpentine/sched/selector.h"
+#include "serpentine/sched/weave_pattern.h"
+
+#include "serpentine/sim/case_mix.h"
+#include "serpentine/sim/executor.h"
+#include "serpentine/sim/experiment.h"
+#include "serpentine/sim/perturbed_model.h"
+#include "serpentine/sim/physical_drive.h"
+#include "serpentine/sim/queue_sim.h"
+#include "serpentine/sim/wear.h"
+
+#include "serpentine/workload/generators.h"
+#include "serpentine/workload/trace_io.h"
+
+#include "serpentine/store/segment_cache.h"
+#include "serpentine/store/store.h"
+#include "serpentine/store/striped_volume.h"
+#include "serpentine/store/tape_library.h"
+
+#endif  // SERPENTINE_SERPENTINE_H_

@@ -1,0 +1,29 @@
+#include "serpentine/sim/case_mix.h"
+
+#include "serpentine/sched/estimator.h"
+
+namespace serpentine::sim {
+
+CaseMix AnalyzeCaseMix(const tape::Dlt4000LocateModel& model,
+                       const sched::Schedule& schedule) {
+  CaseMix mix;
+  if (schedule.full_tape_scan) return mix;
+  const tape::TapeGeometry& g = model.geometry();
+  tape::SegmentId position = schedule.initial_position;
+  for (const sched::Request& r : schedule.order) {
+    if (r.segment != position) {
+      tape::LocateCase c = model.Classify(position, r.segment);
+      double seconds = model.LocateSeconds(position, r.segment);
+      int i = static_cast<int>(c) - 1;
+      ++mix.count[i];
+      mix.seconds[i] += seconds;
+      ++mix.total_locates;
+      mix.total_seconds += seconds;
+      if (seconds < 25.0) ++mix.short_locates;
+    }
+    position = sched::OutPosition(g, r);
+  }
+  return mix;
+}
+
+}  // namespace serpentine::sim

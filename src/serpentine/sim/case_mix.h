@@ -1,0 +1,53 @@
+// Case-mix analysis: decompose a schedule's locates by the paper's seven
+// model cases. Explains macroscopic effects from the model's microstructure
+// — e.g. Fig 8's growing estimate error at large N ("a schedule of many
+// requests contains numerous short locates near the physical track ends,
+// and this region of the locate time model is less accurate").
+#ifndef SERPENTINE_SIM_CASE_MIX_H_
+#define SERPENTINE_SIM_CASE_MIX_H_
+
+#include <array>
+#include <cstdint>
+
+#include "serpentine/sched/request.h"
+#include "serpentine/tape/locate_model.h"
+
+namespace serpentine::sim {
+
+/// Locate statistics of one schedule, split by model case.
+struct CaseMix {
+  static constexpr int kCases = 7;
+
+  /// Indexed by static_cast<int>(LocateCase) - 1.
+  std::array<int64_t, kCases> count{};
+  std::array<double, kCases> seconds{};
+  int64_t total_locates = 0;
+  double total_seconds = 0.0;
+  /// Locates cheaper than 25 s (the "short locate" regime).
+  int64_t short_locates = 0;
+
+  double fraction(tape::LocateCase c) const {
+    return total_locates > 0
+               ? static_cast<double>(count[static_cast<int>(c) - 1]) /
+                     static_cast<double>(total_locates)
+               : 0.0;
+  }
+  double mean_seconds(tape::LocateCase c) const {
+    int i = static_cast<int>(c) - 1;
+    return count[i] > 0 ? seconds[i] / static_cast<double>(count[i]) : 0.0;
+  }
+  double short_fraction() const {
+    return total_locates > 0 ? static_cast<double>(short_locates) /
+                                   static_cast<double>(total_locates)
+                             : 0.0;
+  }
+};
+
+/// Walks `schedule` against the concrete DLT model and tallies each locate
+/// by its case. READ schedules have no locates and return an empty mix.
+CaseMix AnalyzeCaseMix(const tape::Dlt4000LocateModel& model,
+                       const sched::Schedule& schedule);
+
+}  // namespace serpentine::sim
+
+#endif  // SERPENTINE_SIM_CASE_MIX_H_

@@ -1,0 +1,49 @@
+#include "serpentine/sim/executor.h"
+
+#include "serpentine/util/check.h"
+
+namespace serpentine::sim {
+
+ExecutionResult ExecuteSchedule(const tape::LocateModel& drive,
+                                const sched::Schedule& schedule,
+                                const sched::EstimateOptions& options) {
+  const tape::TapeGeometry& g = drive.geometry();
+  ExecutionResult r;
+
+  if (schedule.full_tape_scan) {
+    tape::SegmentId last = g.total_segments() - 1;
+    r.read_seconds = drive.ReadSeconds(0, last);
+    r.rewind_seconds = drive.RewindSeconds(last);
+    r.total_seconds = r.read_seconds + r.rewind_seconds;
+    r.segments_read = g.total_segments();
+    r.final_position = 0;
+    return r;
+  }
+
+  tape::SegmentId position = schedule.initial_position;
+  for (const sched::Request& req : schedule.order) {
+    SERPENTINE_CHECK_GE(req.segment, 0);
+    SERPENTINE_CHECK_LE(req.last(), g.total_segments() - 1);
+    r.locate_seconds += drive.LocateSeconds(position, req.segment);
+    ++r.locates;
+    if (options.include_reads) {
+      r.read_seconds += drive.ReadSeconds(req.segment, req.last());
+      r.segments_read += req.count;
+    }
+    position = sched::OutPosition(g, req);
+  }
+  if (options.rewind_at_end) {
+    r.rewind_seconds = drive.RewindSeconds(position);
+    position = 0;
+  }
+  r.final_position = position;
+  r.total_seconds = r.locate_seconds + r.read_seconds + r.rewind_seconds;
+  return r;
+}
+
+double PercentError(double estimate, double measurement) {
+  SERPENTINE_CHECK_GT(measurement, 0.0);
+  return (estimate - measurement) / measurement * 100.0;
+}
+
+}  // namespace serpentine::sim

@@ -1,0 +1,45 @@
+// Schedule execution against any timing source (ideal model or
+// PhysicalDrive), with a per-phase time breakdown.
+#ifndef SERPENTINE_SIM_EXECUTOR_H_
+#define SERPENTINE_SIM_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "serpentine/sched/estimator.h"
+#include "serpentine/sched/request.h"
+#include "serpentine/tape/locate_model.h"
+
+namespace serpentine::sim {
+
+/// Outcome of executing one schedule.
+struct ExecutionResult {
+  double total_seconds = 0.0;
+  double locate_seconds = 0.0;
+  double read_seconds = 0.0;
+  double rewind_seconds = 0.0;
+  int64_t locates = 0;
+  int64_t segments_read = 0;
+  /// Head position after the last operation.
+  tape::SegmentId final_position = 0;
+
+  /// Fraction of the total spent transferring data (paper Fig 7's
+  /// utilization).
+  double utilization() const {
+    return total_seconds > 0 ? read_seconds / total_seconds : 0.0;
+  }
+};
+
+/// Runs `schedule` against `drive` (the timing source) and returns the
+/// breakdown. With a PhysicalDrive this is the paper's "measured" execution
+/// time; with the scheduler's own model it equals the estimate.
+ExecutionResult ExecuteSchedule(const tape::LocateModel& drive,
+                                const sched::Schedule& schedule,
+                                const sched::EstimateOptions& options = {});
+
+/// Percent error of an estimate against a measurement, as in Fig 8/9:
+/// (estimate - measurement) / measurement × 100.
+double PercentError(double estimate, double measurement);
+
+}  // namespace serpentine::sim
+
+#endif  // SERPENTINE_SIM_EXECUTOR_H_

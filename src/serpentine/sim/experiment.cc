@@ -1,0 +1,123 @@
+#include "serpentine/sim/experiment.h"
+
+#include <chrono>
+
+#include "serpentine/sim/executor.h"
+#include "serpentine/util/check.h"
+#include "serpentine/util/stats.h"
+
+namespace serpentine::sim {
+
+const std::vector<int>& PaperScheduleLengths() {
+  static const std::vector<int> kLengths = {
+      1,  2,  3,  4,   5,   6,   7,   8,   9,   10,   12,   16,  24,
+      32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048};
+  return kLengths;
+}
+
+int64_t PaperTrials(int n) {
+  if (n <= 192) return 100000;
+  if (n <= 256) return 25000;
+  if (n <= 384) return 12000;
+  if (n <= 512) return 7000;
+  if (n <= 768) return 3000;
+  if (n <= 1024) return 1600;
+  if (n <= 1536) return 800;
+  return 400;
+}
+
+int64_t PaperTrialsOpt(int n) {
+  if (n <= 9) return 100000;
+  if (n == 10) return 10000;
+  if (n <= 12) return 100;
+  return 0;
+}
+
+std::vector<sched::Request> GenerateUniformRequests(
+    serpentine::Lrand48& rng, int n, tape::SegmentId total_segments) {
+  std::vector<sched::Request> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(sched::Request{rng.NextBounded(total_segments), 1});
+  }
+  return out;
+}
+
+PointStats SimulatePoint(const tape::LocateModel& scheduling_model,
+                         const tape::LocateModel& execution_model,
+                         sched::Algorithm algorithm, int n, int64_t trials,
+                         bool start_at_bot, int32_t seed,
+                         const sched::SchedulerOptions& options) {
+  SERPENTINE_CHECK_GT(trials, 0);
+  tape::SegmentId total = scheduling_model.geometry().total_segments();
+  serpentine::Lrand48 rng(seed);
+  Accumulator total_seconds;
+  double cpu_seconds = 0.0;
+
+  for (int64_t t = 0; t < trials; ++t) {
+    tape::SegmentId initial = start_at_bot ? 0 : rng.NextBounded(total);
+    std::vector<sched::Request> requests =
+        GenerateUniformRequests(rng, n, total);
+
+    auto begin = std::chrono::steady_clock::now();
+    auto schedule = sched::BuildSchedule(scheduling_model, initial,
+                                         std::move(requests), algorithm,
+                                         options);
+    auto end = std::chrono::steady_clock::now();
+    cpu_seconds +=
+        std::chrono::duration<double>(end - begin).count();
+    SERPENTINE_CHECK(schedule.ok());
+
+    total_seconds.Add(
+        ExecuteSchedule(execution_model, schedule.value()).total_seconds);
+  }
+
+  PointStats stats;
+  stats.n = n;
+  stats.trials = trials;
+  stats.mean_total_seconds = total_seconds.mean();
+  stats.std_total_seconds = total_seconds.stddev();
+  stats.mean_seconds_per_locate = total_seconds.mean() / n;
+  stats.mean_schedule_cpu_seconds =
+      cpu_seconds / static_cast<double>(trials);
+  return stats;
+}
+
+PointStats SimulateChainedBatches(const tape::LocateModel& model,
+                                  sched::Algorithm algorithm, int n,
+                                  int64_t batches, int32_t seed,
+                                  const sched::SchedulerOptions& options) {
+  SERPENTINE_CHECK_GT(batches, 0);
+  tape::SegmentId total = model.geometry().total_segments();
+  serpentine::Lrand48 rng(seed);
+  Accumulator total_seconds;
+  double cpu_seconds = 0.0;
+  tape::SegmentId head = 0;  // the first batch begins on a fresh mount
+
+  for (int64_t b = 0; b < batches; ++b) {
+    std::vector<sched::Request> requests =
+        GenerateUniformRequests(rng, n, total);
+    auto begin = std::chrono::steady_clock::now();
+    auto schedule =
+        sched::BuildSchedule(model, head, std::move(requests), algorithm,
+                             options);
+    auto end = std::chrono::steady_clock::now();
+    cpu_seconds += std::chrono::duration<double>(end - begin).count();
+    SERPENTINE_CHECK(schedule.ok());
+    ExecutionResult result = ExecuteSchedule(model, schedule.value());
+    total_seconds.Add(result.total_seconds);
+    head = result.final_position;
+  }
+
+  PointStats stats;
+  stats.n = n;
+  stats.trials = batches;
+  stats.mean_total_seconds = total_seconds.mean();
+  stats.std_total_seconds = total_seconds.stddev();
+  stats.mean_seconds_per_locate = total_seconds.mean() / n;
+  stats.mean_schedule_cpu_seconds =
+      cpu_seconds / static_cast<double>(batches);
+  return stats;
+}
+
+}  // namespace serpentine::sim

@@ -1,0 +1,75 @@
+// The paper's model-driven simulation harness (§5, Fig 3): generate random
+// request sets, schedule them with each algorithm, and estimate/execute the
+// schedules, accumulating mean and standard deviation per configuration.
+#ifndef SERPENTINE_SIM_EXPERIMENT_H_
+#define SERPENTINE_SIM_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "serpentine/sched/request.h"
+#include "serpentine/sched/scheduler.h"
+#include "serpentine/tape/locate_model.h"
+#include "serpentine/util/lrand48.h"
+
+namespace serpentine::sim {
+
+/// Schedule lengths used throughout the paper's figures:
+/// 1..10, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024,
+/// 1536, 2048.
+const std::vector<int>& PaperScheduleLengths();
+
+/// The paper's trial counts per schedule length (Fig 3's T[N]): 100,000 up
+/// to N=192, then 25,000 / 12,000 / 7,000 / 3,000 / 1,600 / 800 / 400.
+int64_t PaperTrials(int n);
+
+/// OPT's reduced counts: 100,000 up to 9 requests, 10,000 for 10, 100 for
+/// 12 (and nothing beyond).
+int64_t PaperTrialsOpt(int n);
+
+/// Draws `n` uniform random segment numbers, as the paper's pseudocode does
+/// with lrand48().
+std::vector<sched::Request> GenerateUniformRequests(
+    serpentine::Lrand48& rng, int n, tape::SegmentId total_segments);
+
+/// Aggregate statistics for one (algorithm, schedule length) point.
+struct PointStats {
+  int n = 0;
+  int64_t trials = 0;
+  double mean_total_seconds = 0.0;
+  double std_total_seconds = 0.0;
+  /// Figures 4/5 plot total/N.
+  double mean_seconds_per_locate = 0.0;
+  /// Mean CPU seconds spent generating each schedule (Fig 6).
+  double mean_schedule_cpu_seconds = 0.0;
+};
+
+/// One simulation point, following the paper's Fig 3 loop.
+///
+/// Each trial draws a fresh batch of `n` requests (and, unless
+/// `start_at_bot`, a random initial position), builds a schedule with
+/// `algorithm` consulting `scheduling_model`, and times its execution
+/// against `execution_model` (pass the same model to reproduce Figs 4/5;
+/// pass the unperturbed model while scheduling with a perturbed one for
+/// Fig 10; pass a PhysicalDrive for Figs 8/9).
+PointStats SimulatePoint(const tape::LocateModel& scheduling_model,
+                         const tape::LocateModel& execution_model,
+                         sched::Algorithm algorithm, int n, int64_t trials,
+                         bool start_at_bot, int32_t seed,
+                         const sched::SchedulerOptions& options = {});
+
+/// The paper's first scenario, simulated literally: "a tape is scheduled
+/// repeatedly, executing retrievals in batches. ... at the beginning of
+/// each schedule execution the tape head is in the position of the last
+/// read in the previous batch." Runs `batches` successive batches of `n`
+/// requests, carrying the head position across batches (the random-start
+/// runs of Fig 4 approximate this with an independent uniform start; this
+/// function validates that approximation).
+PointStats SimulateChainedBatches(const tape::LocateModel& model,
+                                  sched::Algorithm algorithm, int n,
+                                  int64_t batches, int32_t seed,
+                                  const sched::SchedulerOptions& options = {});
+
+}  // namespace serpentine::sim
+
+#endif  // SERPENTINE_SIM_EXPERIMENT_H_

@@ -1,0 +1,157 @@
+#include "serpentine/sim/queue_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "serpentine/sched/estimator.h"
+#include "serpentine/util/check.h"
+#include "serpentine/util/lrand48.h"
+
+namespace serpentine::sim {
+namespace {
+
+struct Arrival {
+  double time;
+  tape::SegmentId segment;
+};
+
+}  // namespace
+
+QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
+                                  const QueueSimConfig& config) {
+  SERPENTINE_CHECK_GT(config.arrival_rate_per_hour, 0.0);
+  SERPENTINE_CHECK_GT(config.total_requests, 0);
+  SERPENTINE_CHECK_GE(config.dispatch_min_batch, 1);
+  const tape::TapeGeometry& g = model.geometry();
+
+  // Pre-generate the Poisson arrival stream.
+  Lrand48 rng(config.seed);
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(config.total_requests);
+  double t = 0.0;
+  double mean_gap = 3600.0 / config.arrival_rate_per_hour;
+  for (int i = 0; i < config.total_requests; ++i) {
+    double u = rng.NextDouble();
+    t += -std::log(1.0 - u) * mean_gap;
+    arrivals.push_back(Arrival{t, rng.NextBounded(g.total_segments())});
+  }
+
+  QueueSimResult result;
+  std::vector<double> responses;
+  responses.reserve(config.total_requests);
+
+  double clock = 0.0;
+  size_t next_arrival = 0;
+  std::deque<Arrival> pending;
+  tape::SegmentId head = 0;
+  double batch_sum = 0.0;
+
+  while (result.completed < config.total_requests) {
+    // Admit everything that has arrived by `clock`.
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].time <= clock) {
+      pending.push_back(arrivals[next_arrival++]);
+    }
+
+    bool no_more_arrivals = next_arrival >= arrivals.size();
+    // The oldest request's dispatch deadline. Computed once so the policy
+    // test and the idle target agree bit-for-bit (comparing a recomputed
+    // `clock - front` against max_wait can disagree with `front + max_wait`
+    // by one ULP and spin forever).
+    double deadline = std::numeric_limits<double>::infinity();
+    if (!pending.empty() &&
+        std::isfinite(config.dispatch_max_wait_seconds)) {
+      deadline =
+          pending.front().time + config.dispatch_max_wait_seconds;
+    }
+    bool policy_fires =
+        !pending.empty() &&
+        (static_cast<int>(pending.size()) >= config.dispatch_min_batch ||
+         clock >= deadline || no_more_arrivals);
+
+    if (!policy_fires) {
+      // Idle until the next arrival or until the oldest pending request
+      // ages past the wait bound.
+      double next_time = deadline;
+      if (!no_more_arrivals) {
+        next_time = std::min(next_time, arrivals[next_arrival].time);
+      }
+      SERPENTINE_CHECK(std::isfinite(next_time));
+      SERPENTINE_CHECK_GT(next_time, clock);
+      clock = next_time;
+      continue;
+    }
+
+    // Dispatch: all pending requests form the batch.
+    std::vector<sched::Request> batch;
+    std::vector<Arrival> members(pending.begin(), pending.end());
+    pending.clear();
+    batch.reserve(members.size());
+    for (const Arrival& a : members)
+      batch.push_back(sched::Request{a.segment, 1});
+
+    auto schedule = sched::BuildSchedule(model, head, batch,
+                                         config.algorithm,
+                                         config.scheduler_options);
+    SERPENTINE_CHECK(schedule.ok());
+    ++result.batches;
+    batch_sum += static_cast<double>(members.size());
+
+    // Execute step by step so each request gets a completion stamp.
+    // Requests map back to arrivals by segment (duplicates: any order).
+    std::vector<bool> done(members.size(), false);
+    auto complete = [&](tape::SegmentId segment, double at) {
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (!done[i] && members[i].segment == segment) {
+          done[i] = true;
+          responses.push_back(at - members[i].time);
+          ++result.completed;
+          return;
+        }
+      }
+      SERPENTINE_CHECK(false);
+    };
+
+    if (schedule->full_tape_scan) {
+      double pass_start = clock + model.LocateSeconds(head, 0);
+      double busy = model.LocateSeconds(head, 0) +
+                    model.ReadSeconds(0, g.total_segments() - 1) +
+                    model.RewindSeconds(g.total_segments() - 1);
+      for (const Arrival& a : members) {
+        complete(a.segment, pass_start + model.ReadSeconds(0, a.segment));
+      }
+      clock += busy;
+      result.drive_busy_seconds += busy;
+      head = 0;
+    } else {
+      for (const sched::Request& r : schedule->order) {
+        double step = model.LocateSeconds(head, r.segment) +
+                      model.ReadSeconds(r.segment, r.last());
+        clock += step;
+        result.drive_busy_seconds += step;
+        complete(r.segment, clock);
+        head = sched::OutPosition(g, r);
+      }
+    }
+  }
+
+  result.mean_batch_size = batch_sum / result.batches;
+  result.makespan_seconds = clock - (arrivals.empty() ? 0.0 : arrivals[0].time);
+  result.utilization = result.makespan_seconds > 0
+                           ? result.drive_busy_seconds / result.makespan_seconds
+                           : 0.0;
+  std::sort(responses.begin(), responses.end());
+  double sum = 0.0;
+  for (double r : responses) sum += r;
+  result.mean_response_seconds = sum / responses.size();
+  result.p95_response_seconds =
+      responses[static_cast<size_t>(0.95 * (responses.size() - 1))];
+  result.max_response_seconds = responses.back();
+  result.throughput_per_hour =
+      result.completed / (result.makespan_seconds / 3600.0);
+  return result;
+}
+
+}  // namespace serpentine::sim

@@ -1,0 +1,34 @@
+#include "serpentine/store/segment_cache.h"
+
+namespace serpentine::store {
+
+SegmentCache::SegmentCache(size_t capacity) : capacity_(capacity) {}
+
+bool SegmentCache::Lookup(const CacheKey& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void SegmentCache::Insert(const CacheKey& key) {
+  if (capacity_ == 0) return;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(key);
+  map_[key] = lru_.begin();
+}
+
+}  // namespace serpentine::store

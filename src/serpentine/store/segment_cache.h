@@ -1,0 +1,69 @@
+// LRU cache of tape segments. The paper assumes "a reasonable caching
+// strategy" in front of the tape store (§2); this is that component.
+#ifndef SERPENTINE_STORE_SEGMENT_CACHE_H_
+#define SERPENTINE_STORE_SEGMENT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "serpentine/tape/types.h"
+
+namespace serpentine::store {
+
+/// Identifies one segment of one cartridge.
+struct CacheKey {
+  int tape = 0;
+  tape::SegmentId segment = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& k) const {
+    return std::hash<int64_t>()(
+        (static_cast<int64_t>(k.tape) << 40) ^ k.segment);
+  }
+};
+
+/// Fixed-capacity LRU set of segment keys with hit/miss accounting.
+class SegmentCache {
+ public:
+  /// Capacity in segments; 0 disables caching entirely.
+  explicit SegmentCache(size_t capacity);
+
+  /// True and refreshed to most-recently-used if present; counts a hit or
+  /// a miss either way.
+  bool Lookup(const CacheKey& key);
+
+  /// Inserts (or refreshes) a key, evicting the least recently used entry
+  /// when full. No-op at capacity 0.
+  void Insert(const CacheKey& key);
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t evictions() const { return evictions_; }
+
+  /// Hit fraction over all lookups so far (0 when no lookups).
+  double hit_rate() const {
+    int64_t total = hits_ + misses_;
+    return total > 0 ? static_cast<double>(hits_) / total : 0.0;
+  }
+
+ private:
+  size_t capacity_;
+  std::list<CacheKey> lru_;  // front = most recent
+  std::unordered_map<CacheKey, std::list<CacheKey>::iterator, CacheKeyHash>
+      map_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace serpentine::store
+
+#endif  // SERPENTINE_STORE_SEGMENT_CACHE_H_

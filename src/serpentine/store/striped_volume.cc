@@ -1,0 +1,79 @@
+#include "serpentine/store/striped_volume.h"
+
+#include <algorithm>
+
+#include "serpentine/sched/estimator.h"
+#include "serpentine/util/check.h"
+
+namespace serpentine::store {
+
+StripedVolume::StripedVolume(const tape::TapeParams& params, int drives,
+                             tape::DriveTimings timings, int32_t first_seed) {
+  SERPENTINE_CHECK_GT(drives, 0);
+  models_.reserve(drives);
+  tape::SegmentId smallest = 0;
+  for (int i = 0; i < drives; ++i) {
+    models_.push_back(std::make_unique<tape::Dlt4000LocateModel>(
+        tape::TapeGeometry::Generate(params, first_seed + i), timings));
+    tape::SegmentId capacity = models_[i]->geometry().total_segments();
+    smallest = i == 0 ? capacity : std::min(smallest, capacity);
+  }
+  logical_segments_ = smallest * drives;
+}
+
+serpentine::StatusOr<StripeLocation> StripedVolume::Locate(
+    tape::SegmentId logical) const {
+  if (logical < 0 || logical >= logical_segments_) {
+    return OutOfRangeError("logical segment off volume: " +
+                           std::to_string(logical));
+  }
+  StripeLocation loc;
+  loc.drive = static_cast<int>(logical % num_drives());
+  loc.segment = logical / num_drives();
+  return loc;
+}
+
+serpentine::StatusOr<StripedBatchResult> StripedVolume::ExecuteBatch(
+    const std::vector<tape::SegmentId>& logical_segments,
+    sched::Algorithm algorithm, const sched::SchedulerOptions& options,
+    std::vector<tape::SegmentId>* head) const {
+  int k = num_drives();
+  std::vector<std::vector<sched::Request>> shares(k);
+  for (tape::SegmentId logical : logical_segments) {
+    SERPENTINE_ASSIGN_OR_RETURN(StripeLocation loc, Locate(logical));
+    shares[loc.drive].push_back(sched::Request{loc.segment, 1});
+  }
+
+  std::vector<tape::SegmentId> positions(k, 0);
+  if (head != nullptr && !head->empty()) {
+    if (static_cast<int>(head->size()) != k) {
+      return InvalidArgumentError("head vector must have one entry per drive");
+    }
+    positions = *head;
+  }
+
+  StripedBatchResult result;
+  result.drive_seconds.resize(k, 0.0);
+  result.drive_requests.resize(k, 0);
+  for (int d = 0; d < k; ++d) {
+    result.drive_requests[d] = static_cast<int>(shares[d].size());
+    if (shares[d].empty()) continue;
+    SERPENTINE_ASSIGN_OR_RETURN(
+        sched::Schedule schedule,
+        sched::BuildSchedule(*models_[d], positions[d], shares[d],
+                             algorithm, options));
+    result.drive_seconds[d] =
+        sched::EstimateScheduleSeconds(*models_[d], schedule);
+    if (!schedule.order.empty()) {
+      positions[d] = sched::OutPosition(models_[d]->geometry(),
+                                        schedule.order.back());
+    }
+    result.makespan_seconds =
+        std::max(result.makespan_seconds, result.drive_seconds[d]);
+    result.total_drive_seconds += result.drive_seconds[d];
+  }
+  if (head != nullptr) *head = positions;
+  return result;
+}
+
+}  // namespace serpentine::store

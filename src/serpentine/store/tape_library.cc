@@ -1,0 +1,104 @@
+#include "serpentine/store/tape_library.h"
+
+#include <algorithm>
+
+#include "serpentine/util/check.h"
+
+namespace serpentine::store {
+
+TapeLibrary::TapeLibrary(const tape::TapeParams& params, int cartridges,
+                         tape::DriveTimings timings,
+                         LibraryTimings library_timings, int32_t first_seed)
+    : library_timings_(library_timings) {
+  SERPENTINE_CHECK_GT(cartridges, 0);
+  models_.reserve(cartridges);
+  for (int i = 0; i < cartridges; ++i) {
+    models_.push_back(std::make_unique<tape::Dlt4000LocateModel>(
+        tape::TapeGeometry::Generate(params, first_seed + i), timings));
+  }
+}
+
+const tape::Dlt4000LocateModel& TapeLibrary::model(int tape) const {
+  SERPENTINE_CHECK_GE(tape, 0);
+  SERPENTINE_CHECK_LT(tape, num_cartridges());
+  return *models_[tape];
+}
+
+serpentine::Status TapeLibrary::RequireMounted() const {
+  if (mounted_ < 0) return FailedPreconditionError("no cartridge mounted");
+  return OkStatus();
+}
+
+serpentine::Status TapeLibrary::Mount(int tape) {
+  if (tape < 0 || tape >= num_cartridges()) {
+    return InvalidArgumentError("no such cartridge: " + std::to_string(tape));
+  }
+  if (mounted_ == tape) return OkStatus();
+  if (mounted_ >= 0) SERPENTINE_RETURN_IF_ERROR(Unmount());
+  Spend(library_timings_.robot_exchange_seconds +
+        library_timings_.load_seconds);
+  mounted_ = tape;
+  head_ = 0;
+  ++total_mounts_;
+  return OkStatus();
+}
+
+serpentine::Status TapeLibrary::Unmount() {
+  SERPENTINE_RETURN_IF_ERROR(RequireMounted());
+  // Single-reel cartridges must rewind to eject (paper footnote 5).
+  Spend(models_[mounted_]->RewindSeconds(head_));
+  Spend(library_timings_.unload_seconds +
+        library_timings_.robot_exchange_seconds);
+  mounted_ = -1;
+  head_ = 0;
+  return OkStatus();
+}
+
+serpentine::StatusOr<double> TapeLibrary::LocateTo(tape::SegmentId segment) {
+  SERPENTINE_RETURN_IF_ERROR(RequireMounted());
+  const auto& model = *models_[mounted_];
+  if (segment < 0 || segment >= model.geometry().total_segments()) {
+    return OutOfRangeError("locate target off tape");
+  }
+  double t = model.LocateSeconds(head_, segment);
+  Spend(t);
+  head_ = segment;
+  return t;
+}
+
+serpentine::StatusOr<double> TapeLibrary::ReadForward(int64_t count) {
+  SERPENTINE_RETURN_IF_ERROR(RequireMounted());
+  if (count <= 0) return InvalidArgumentError("count must be positive");
+  const auto& model = *models_[mounted_];
+  tape::SegmentId last = head_ + count - 1;
+  if (last >= model.geometry().total_segments()) {
+    return OutOfRangeError("read runs off the end of tape");
+  }
+  double t = model.ReadSeconds(head_, last);
+  Spend(t);
+  head_ = std::min<tape::SegmentId>(last + 1,
+                                    model.geometry().total_segments() - 1);
+  return t;
+}
+
+serpentine::StatusOr<double> TapeLibrary::WriteForward(int64_t count) {
+  // Streaming writes move the transport exactly like streaming reads; the
+  // drive formats as it goes.
+  return ReadForward(count);
+}
+
+serpentine::StatusOr<double> TapeLibrary::FullScan() {
+  SERPENTINE_RETURN_IF_ERROR(RequireMounted());
+  const auto& model = *models_[mounted_];
+  double t = model.LocateSeconds(head_, 0) + model.FullReadAndRewindSeconds();
+  Spend(t);
+  head_ = 0;
+  return t;
+}
+
+void TapeLibrary::Idle(double seconds) {
+  SERPENTINE_CHECK_GE(seconds, 0.0);
+  clock_seconds_ += seconds;
+}
+
+}  // namespace serpentine::store

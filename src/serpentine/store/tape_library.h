@@ -1,0 +1,104 @@
+// A robotic tape library: one drive, many cartridges, a robot arm, and a
+// virtual clock. Mount/unmount semantics follow the paper: single-reel
+// cartridges (DLT, IBM 3590) must rewind before ejecting (footnote 5), so
+// every fresh mount starts at the beginning of tape — the Fig 5 scenario.
+#ifndef SERPENTINE_STORE_TAPE_LIBRARY_H_
+#define SERPENTINE_STORE_TAPE_LIBRARY_H_
+
+#include <memory>
+#include <vector>
+
+#include "serpentine/tape/locate_model.h"
+#include "serpentine/util/status.h"
+#include "serpentine/util/statusor.h"
+
+namespace serpentine::store {
+
+/// Robot and drive exchange timings (seconds). Defaults approximate a
+/// small DLT autoloader.
+struct LibraryTimings {
+  /// Robot arm travel + grip, per cartridge movement.
+  double robot_exchange_seconds = 15.0;
+  /// Drive load: thread tape, calibrate.
+  double load_seconds = 40.0;
+  /// Drive unload after the mandatory rewind.
+  double unload_seconds = 20.0;
+};
+
+/// One drive + N cartridges + robot, with a virtual clock.
+///
+/// All motion (mounting, locating, reading, rewinding) advances the clock
+/// according to each cartridge's locate-time model.
+class TapeLibrary {
+ public:
+  /// Builds a library of `cartridges` tapes in one geometry family, each
+  /// generated from consecutive seeds, sharing one drive timing profile.
+  TapeLibrary(const tape::TapeParams& params, int cartridges,
+              tape::DriveTimings timings, LibraryTimings library_timings = {},
+              int32_t first_seed = 1);
+
+  int num_cartridges() const { return static_cast<int>(models_.size()); }
+
+  /// The locate model (and geometry) of cartridge `tape`.
+  const tape::Dlt4000LocateModel& model(int tape) const;
+
+  /// Index of the mounted cartridge, or -1.
+  int mounted() const { return mounted_; }
+
+  /// Current head position on the mounted tape.
+  tape::SegmentId head_position() const { return head_; }
+
+  /// Virtual time in seconds since construction.
+  double now() const { return clock_seconds_; }
+
+  /// Mounts cartridge `tape` (unmounting any current one first: rewind,
+  /// unload, robot exchange, load). No-op if already mounted. The head is
+  /// at segment 0 after a fresh mount.
+  serpentine::Status Mount(int tape);
+
+  /// Rewinds, unloads, and returns the mounted cartridge to its slot.
+  serpentine::Status Unmount();
+
+  /// Positions the head at `segment` on the mounted tape (locate).
+  /// Returns the seconds the operation took.
+  serpentine::StatusOr<double> LocateTo(tape::SegmentId segment);
+
+  /// Reads `count` segments from the current head position; the head ends
+  /// just past the span. Returns the seconds taken.
+  serpentine::StatusOr<double> ReadForward(int64_t count);
+
+  /// Writes `count` segments at the current head position (sequential
+  /// streaming, same transport speed as reading). Returns the seconds
+  /// taken.
+  serpentine::StatusOr<double> WriteForward(int64_t count);
+
+  /// Reads the entire mounted tape sequentially and rewinds (the READ
+  /// baseline). Returns the seconds taken.
+  serpentine::StatusOr<double> FullScan();
+
+  /// Advances the clock without drive activity (idle / host time).
+  void Idle(double seconds);
+
+  /// Lifetime counters.
+  int64_t total_mounts() const { return total_mounts_; }
+  double busy_seconds() const { return busy_seconds_; }
+
+ private:
+  serpentine::Status RequireMounted() const;
+  void Spend(double seconds) {
+    clock_seconds_ += seconds;
+    busy_seconds_ += seconds;
+  }
+
+  std::vector<std::unique_ptr<tape::Dlt4000LocateModel>> models_;
+  LibraryTimings library_timings_;
+  int mounted_ = -1;
+  tape::SegmentId head_ = 0;
+  double clock_seconds_ = 0.0;
+  double busy_seconds_ = 0.0;
+  int64_t total_mounts_ = 0;
+};
+
+}  // namespace serpentine::store
+
+#endif  // SERPENTINE_STORE_TAPE_LIBRARY_H_

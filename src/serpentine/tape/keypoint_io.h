@@ -1,0 +1,46 @@
+// Persistence for per-cartridge key points. Calibrating a cartridge costs
+// real drive time (thousands of locates), so a production system measures
+// once and stores the result alongside the cartridge's label — exactly
+// what the paper's per-tape characterization implies.
+//
+// Format (line-oriented text, stable across versions):
+//   serpentine-keypoints v1
+//   tracks <T> sections <S> total <N>
+//   <k_0> <k_1> ... <k_{S-1}>      (one line per track, reading order)
+#ifndef SERPENTINE_TAPE_KEYPOINT_IO_H_
+#define SERPENTINE_TAPE_KEYPOINT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "serpentine/tape/types.h"
+#include "serpentine/util/statusor.h"
+
+namespace serpentine::tape {
+
+/// Key points plus capacity — everything TapeGeometry::FromKeyPoints needs.
+struct KeyPointFile {
+  std::vector<std::vector<SegmentId>> key_segments;
+  SegmentId total_segments = 0;
+};
+
+/// Renders key points in the v1 text format.
+std::string SerializeKeyPoints(
+    const std::vector<std::vector<SegmentId>>& key_segments,
+    SegmentId total_segments);
+
+/// Parses the v1 text format; validates shape and monotonicity per row.
+serpentine::StatusOr<KeyPointFile> ParseKeyPoints(const std::string& text);
+
+/// Writes the v1 format to `path`.
+serpentine::Status SaveKeyPoints(
+    const std::string& path,
+    const std::vector<std::vector<SegmentId>>& key_segments,
+    SegmentId total_segments);
+
+/// Reads the v1 format from `path`.
+serpentine::StatusOr<KeyPointFile> LoadKeyPoints(const std::string& path);
+
+}  // namespace serpentine::tape
+
+#endif  // SERPENTINE_TAPE_KEYPOINT_IO_H_

@@ -1,0 +1,175 @@
+// The locate-time model (paper §3): predicts how long a serpentine drive
+// takes to reposition between two segments, read sequentially, and rewind.
+//
+// The paper's model has "8 major cases with 9 additional subcases, each ...
+// discontinuous and nonmonotonic, but piecewise linear". We implement it as
+// one unified geometric rule whose case analysis reproduces the paper's
+// seven published cases (see LocateCase):
+//
+//   * If the destination is forward in the same track within the same or
+//     next two sections, the drive just reads forward (case 1).
+//   * Otherwise the drive switches to the destination track, scans (at the
+//     fast transport speed) to the key point two before the destination —
+//     clamped to the beginning of the track when the destination lies in
+//     its first or second reading section (cases 4/7) — and reads forward
+//     from there (cases 2/3/5/6 depending on scan direction and track
+//     parity).
+//
+// Everything is computed in physical coordinates, so the forward/reverse
+// asymmetries the paper measures (e.g. the ~5 s dip drop on forward tracks
+// vs ~25 s on reverse tracks) emerge instead of being special-cased.
+#ifndef SERPENTINE_TAPE_LOCATE_MODEL_H_
+#define SERPENTINE_TAPE_LOCATE_MODEL_H_
+
+#include <memory>
+
+#include "serpentine/tape/geometry.h"
+#include "serpentine/tape/params.h"
+#include "serpentine/tape/types.h"
+
+namespace serpentine::tape {
+
+/// The paper's seven locate cases (§3), as classified by
+/// Dlt4000LocateModel::Classify.
+enum class LocateCase {
+  /// Case 1: same track, destination in the same or one of the next two
+  /// reading sections — pure read-forward.
+  kReadForward = 1,
+  /// Case 2: co-directional (or same) track, scan forward to the key point
+  /// two before the destination, then read forward.
+  kScanForwardCoDirectional = 2,
+  /// Case 3: co-directional track, scan backward, then read forward.
+  kScanBackwardCoDirectional = 3,
+  /// Case 4: co-directional track, destination in its first or second
+  /// reading section — scan to the beginning of the track.
+  kTrackStartCoDirectional = 4,
+  /// Case 5: anti-directional track, scan forward.
+  kScanForwardAntiDirectional = 5,
+  /// Case 6: anti-directional track, scan backward.
+  kScanBackwardAntiDirectional = 6,
+  /// Case 7: anti-directional track, destination in first or second
+  /// reading section — scan to the beginning of the track.
+  kTrackStartAntiDirectional = 7,
+};
+
+/// Returns a short stable name for a case ("read-forward", ...).
+const char* LocateCaseName(LocateCase c);
+
+/// Abstract timing model a scheduler consults. Concrete implementations:
+/// Dlt4000LocateModel (the believed model), sim::PerturbedLocateModel
+/// (paper §7 error injection), sim::PhysicalDrive (ground truth with noise),
+/// HelicalLocateModel (paper §2 comparison).
+class LocateModel {
+ public:
+  virtual ~LocateModel() = default;
+
+  /// Seconds to reposition the head from the start of `src` to the start of
+  /// `dst`, ready to read.
+  virtual double LocateSeconds(SegmentId src, SegmentId dst) const = 0;
+
+  /// Seconds to read segments `from`..`to` inclusive (sequential transfer,
+  /// including serpentine track turnarounds within the span).
+  virtual double ReadSeconds(SegmentId from, SegmentId to) const = 0;
+
+  /// Seconds to rewind to the beginning of tape from the start of `from`.
+  virtual double RewindSeconds(SegmentId from) const = 0;
+
+  /// The geometry this model *believes* (which, in the wrong-key-points
+  /// experiments, differs from the tape actually mounted).
+  virtual const TapeGeometry& geometry() const = 0;
+};
+
+/// The serpentine locate-time model of the paper, parameterized by a tape's
+/// geometry (key points) and a drive's motion timings.
+class Dlt4000LocateModel : public LocateModel {
+ public:
+  Dlt4000LocateModel(TapeGeometry geometry, DriveTimings timings);
+
+  double LocateSeconds(SegmentId src, SegmentId dst) const override;
+  double ReadSeconds(SegmentId from, SegmentId to) const override;
+  double RewindSeconds(SegmentId from) const override;
+  const TapeGeometry& geometry() const override { return geometry_; }
+
+  const DriveTimings& timings() const { return timings_; }
+
+  /// Which of the paper's seven cases governs locate(src → dst).
+  /// src == dst classifies as case 1 with zero motion.
+  LocateCase Classify(SegmentId src, SegmentId dst) const;
+
+  /// Full decomposition of one locate, for explainability (the serpsched
+  /// CLI's --explain, wear accounting, tests).
+  struct LocateBreakdown {
+    LocateCase locate_case = LocateCase::kReadForward;
+    /// Fixed + motion cost of the scan leg (overhead, track switch,
+    /// reversal penalty, scan-speed travel); 0 for case-1 locates.
+    double scan_seconds = 0.0;
+    /// The final read-forward leg.
+    double read_seconds = 0.0;
+    double total_seconds = 0.0;
+    double scan_distance_sections = 0.0;
+    double read_distance_sections = 0.0;
+    bool track_change = false;
+    bool reversal = false;
+  };
+  LocateBreakdown ExplainLocate(SegmentId src, SegmentId dst) const;
+
+  /// Seconds to transfer `bytes` at the drive's sustained bandwidth (used
+  /// for request-size/utilization analyses, paper Fig 7).
+  double TransferSeconds(int64_t bytes) const;
+
+  /// Physical position the transport scans to before the final
+  /// read-forward leg of locate(src → dst): the target key point, or the
+  /// destination itself for case-1 (pure read-forward) locates. Used by
+  /// wear accounting to reconstruct the motion path.
+  PhysicalPos ScanTargetPhysical(SegmentId src, SegmentId dst) const;
+
+  /// Seconds to read the whole tape sequentially and rewind — the READ
+  /// baseline (paper §4: "typical time ... is 14,000 seconds").
+  double FullReadAndRewindSeconds() const;
+
+ private:
+  /// Decomposition of one locate, shared by LocateSeconds and Classify.
+  struct Plan {
+    LocateCase locate_case;
+    double scan_distance;  // section units; 0 for case 1
+    bool track_change;
+    bool reversal;         // scan leg runs against src reading direction
+    double read_distance;  // section units of the final read-forward leg
+  };
+  Plan PlanLocate(SegmentId src, SegmentId dst) const;
+
+  TapeGeometry geometry_;
+  DriveTimings timings_;
+};
+
+/// Helical-scan tape model (paper §2): logical block numbers correspond
+/// directly to physical position, so positioning time is a simple linear
+/// function of logical distance and SORT is the optimal schedule.
+class HelicalLocateModel : public LocateModel {
+ public:
+  /// A drive with `total_segments` blocks, locate cost
+  /// `overhead + |distance| * seconds_per_segment`, and the given transfer
+  /// time per segment. Defaults approximate an Exabyte 8505 (500 KB/s,
+  /// 7 GB) scaled to 32 KB blocks.
+  HelicalLocateModel(SegmentId total_segments, double overhead_seconds = 5.0,
+                     double seconds_per_segment = 2.5e-4,
+                     double transfer_seconds_per_segment = 0.0655);
+
+  double LocateSeconds(SegmentId src, SegmentId dst) const override;
+  double ReadSeconds(SegmentId from, SegmentId to) const override;
+  double RewindSeconds(SegmentId from) const override;
+
+  /// Helical geometry is degenerate; exposed as a single-track layout so
+  /// generic code can still ask for total_segments().
+  const TapeGeometry& geometry() const override { return geometry_; }
+
+ private:
+  double overhead_seconds_;
+  double seconds_per_segment_;
+  double transfer_seconds_per_segment_;
+  TapeGeometry geometry_;
+};
+
+}  // namespace serpentine::tape
+
+#endif  // SERPENTINE_TAPE_LOCATE_MODEL_H_

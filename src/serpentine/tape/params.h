@@ -1,0 +1,121 @@
+// Parameter blocks describing a serpentine tape's geometry and a drive's
+// motion timing, with factory defaults matching the paper's Quantum DLT4000.
+#ifndef SERPENTINE_TAPE_PARAMS_H_
+#define SERPENTINE_TAPE_PARAMS_H_
+
+#include <cstdint>
+
+namespace serpentine::tape {
+
+/// Geometry of one serpentine cartridge family. Individual cartridges differ
+/// (track lengths and section boundaries vary per tape, paper §3); the
+/// jitter fields bound that per-tape variation, realized by
+/// TapeGeometry::Generate from a seed.
+struct TapeParams {
+  /// Number of serpentine tracks (the DLT4000 numbers tracks 0-63).
+  int num_tracks = 64;
+  /// Sections per track (DLT4000: 14, numbered 0-13).
+  int sections_per_track = 14;
+  /// Nominal segments in sections 0..n-2 (paper: "approximately 704").
+  int nominal_section_segments = 704;
+  /// Nominal segments in the last physical section, "significantly shorter"
+  /// (paper: the first segment of a reverse track is (t',13,k), with k
+  /// "600 or so"). 568 lands the total capacity at the paper's ~622,102
+  /// segments: 64 × (13 × 704 + 568) = 622,080.
+  int short_section_segments = 568;
+  /// Max ± jitter applied to each section's segment count per tape
+  /// (differing space lost to bad spots, paper §3). Large enough that
+  /// scheduling with the wrong tape's key points misestimates execution
+  /// "disastrously" (Fig 9; we measure ~13 % vs the paper's ~20 %), small
+  /// enough that per-section locate statistics stay within the paper's
+  /// published ranges.
+  int section_segment_jitter = 24;
+  /// Physical tape length in section units (one nominal section = 1.0).
+  double physical_sections = 14.0;
+  /// Max ± jitter applied to each interior section boundary's physical
+  /// position per tape ("section boundaries in different tracks are at
+  /// different physical distances from the beginning of the tape").
+  double boundary_jitter = 0.05;
+};
+
+/// Motion/transfer timing for a serpentine drive. Defaults are the paper's
+/// DLT4000 figures where stated, and constants calibrated against the
+/// paper's measured expectations elsewhere (see DESIGN.md §3):
+///  * WEAVE step expectations 15.5 / 31 / 40.5 s pin
+///    scan_overhead + track_switch ≈ 12.25 s;
+///  * max locate ≈ 180 s, E[BOT→random] ≈ 96.5 s,
+///    E[random→random] ≈ 72.4 s, full read+rewind ≈ 14,000 s.
+struct DriveTimings {
+  /// Slow transport ("read") speed, seconds per section unit (paper: 15.5).
+  double read_seconds_per_section = 15.5;
+  /// Fast transport ("scan") speed, seconds per section unit (paper: 10).
+  double scan_seconds_per_section = 10.0;
+  /// Head reposition + servo settle when the target is on another track.
+  double track_switch_seconds = 6.25;
+  /// Fixed cost of any locate that needs a scan leg (speed change,
+  /// coarse positioning).
+  double scan_overhead_seconds = 6.0;
+  /// Extra cost when the scan leg moves against the source track's reading
+  /// direction (the transport must decelerate and reverse).
+  double reversal_penalty_seconds = 2.5;
+  /// Fixed cost of a rewind command on top of the scan-speed motion.
+  double rewind_overhead_seconds = 2.0;
+  /// Sequential transfer bandwidth (paper: DLT4000 sustains 1.5 MB/s).
+  double megabytes_per_second = 1.5;
+  /// Bytes per segment (paper: 32 KB, the Solaris SCSI driver limit).
+  int64_t segment_bytes = 32 * 1024;
+};
+
+/// Geometry of the paper's 20 GB Quantum DLT4000 cartridge.
+inline TapeParams Dlt4000TapeParams() { return TapeParams{}; }
+
+/// Motion timing of the paper's Quantum DLT4000 drive.
+inline DriveTimings Dlt4000Timings() { return DriveTimings{}; }
+
+/// A faster, denser drive in the same family (paper §2 mentions the
+/// DLT7000: 5.2 MB/s, 35 GB). Used by extension benches to show the
+/// scheduling results are not DLT4000-specific.
+inline DriveTimings Dlt7000Timings() {
+  DriveTimings t;
+  t.megabytes_per_second = 5.2;
+  t.read_seconds_per_section = 9.0;
+  t.scan_seconds_per_section = 6.0;
+  return t;
+}
+
+/// DLT7000 cartridge geometry: same serpentine layout, more tracks.
+inline TapeParams Dlt7000TapeParams() {
+  TapeParams p;
+  p.num_tracks = 104;
+  return p;
+}
+
+/// An IBM 3590-class drive (paper §2: 9 MB/s, 10 GB, ~$44,000): a shorter,
+/// much faster serpentine tape. Timing constants are scaled from the
+/// DLT4000's by the bandwidth ratio; the paper gives only the headline
+/// figures.
+inline DriveTimings Ibm3590Timings() {
+  DriveTimings t;
+  t.megabytes_per_second = 9.0;
+  t.read_seconds_per_section = 2.6;  // ~23 MB per section at 9 MB/s
+  t.scan_seconds_per_section = 1.7;
+  t.track_switch_seconds = 3.0;
+  t.scan_overhead_seconds = 3.0;
+  t.reversal_penalty_seconds = 1.5;
+  t.rewind_overhead_seconds = 1.5;
+  return t;
+}
+
+/// IBM 3590 cartridge geometry: ~10 GB of 32 KB segments over 32 track
+/// groups.
+inline TapeParams Ibm3590TapeParams() {
+  TapeParams p;
+  p.num_tracks = 32;
+  p.nominal_section_segments = 730;
+  p.short_section_segments = 590;
+  return p;
+}
+
+}  // namespace serpentine::tape
+
+#endif  // SERPENTINE_TAPE_PARAMS_H_

@@ -1,0 +1,50 @@
+// Core identifier types for serpentine tape addressing.
+//
+// Terminology follows the paper (Hillyer & Silberschatz, SIGMOD '96 §3):
+//  * segment          — fixed-size chunk (32 KB on the paper's DLT4000);
+//                       its absolute segment number is the logical block id.
+//  * track            — one serpentine pass down (even, "forward") or up
+//                       (odd, "reverse") the physical tape.
+//  * section          — the portion of a track between two adjacent key
+//                       points (a "dip" and the following peak).
+//  * key point        — segment number of the start of each section in
+//                       reading order: the track start plus the 13 dips.
+//  * physical section — sections indexed by physical position: section 0 is
+//                       closest to the physical beginning of tape (BOT),
+//                       regardless of track direction.
+//  * reading section  — sections indexed in the order the track reads them:
+//                       equal to the physical index on forward tracks and
+//                       reversed (13 - physical) on reverse tracks.
+#ifndef SERPENTINE_TAPE_TYPES_H_
+#define SERPENTINE_TAPE_TYPES_H_
+
+#include <cstdint>
+
+namespace serpentine::tape {
+
+/// Absolute segment number (logical block number): 0 for the first chunk
+/// written to the tape.
+using SegmentId = int64_t;
+
+/// Physical position along the tape, in *section units*: 0.0 at the physical
+/// beginning of tape, `TapeParams::physical_sections` at the physical end.
+using PhysicalPos = double;
+
+/// Physical coordinate of a segment: the serpentine analogue of a disk's
+/// (cylinder, track, sector) triple (paper §3).
+struct Coord {
+  /// Track number, 0-based; even tracks read physically forward.
+  int track = 0;
+  /// Physical section within the track (0 nearest BOT).
+  int physical_section = 0;
+  /// Segment index within the section, counted by physical position:
+  /// index 0 is nearest BOT on both forward and reverse tracks, so
+  /// (t, a, b) and (t', a, b) are physically nearby for any t, t'.
+  int index = 0;
+
+  bool operator==(const Coord&) const = default;
+};
+
+}  // namespace serpentine::tape
+
+#endif  // SERPENTINE_TAPE_TYPES_H_

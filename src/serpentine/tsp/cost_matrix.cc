@@ -1,0 +1,26 @@
+#include "serpentine/tsp/cost_matrix.h"
+
+#include <vector>
+
+namespace serpentine::tsp {
+
+double PathCost(const CostMatrix& m, const std::vector<int>& order) {
+  double total = 0.0;
+  for (size_t i = 1; i < order.size(); ++i) {
+    total += m.cost(order[i - 1], order[i]);
+  }
+  return total;
+}
+
+bool IsValidPath(const CostMatrix& m, const std::vector<int>& order) {
+  if (static_cast<int>(order.size()) != m.size()) return false;
+  if (order.empty() || order[0] != 0) return false;
+  std::vector<bool> seen(m.size(), false);
+  for (int c : order) {
+    if (c < 0 || c >= m.size() || seen[c]) return false;
+    seen[c] = true;
+  }
+  return true;
+}
+
+}  // namespace serpentine::tsp

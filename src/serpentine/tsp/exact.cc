@@ -1,0 +1,100 @@
+#include "serpentine/tsp/exact.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+namespace serpentine::tsp {
+
+StatusOr<std::vector<int>> SolveExactHeldKarp(const CostMatrix& m) {
+  int cities = m.size();
+  int targets = cities - 1;  // cities 1..cities-1
+  if (targets > kMaxHeldKarpCities) {
+    return InvalidArgumentError("Held-Karp limited to " +
+                                std::to_string(kMaxHeldKarpCities) +
+                                " cities");
+  }
+  if (targets == 0) return std::vector<int>{0};
+
+  size_t masks = size_t{1} << targets;
+  // dp[mask * targets + j]: minimal cost of a path 0 → ... → (j+1) visiting
+  // exactly the target set `mask` (bit j ⇔ city j+1).
+  std::vector<double> dp(masks * targets, kInfiniteCost);
+  std::vector<int8_t> parent(masks * targets, -1);
+  for (int j = 0; j < targets; ++j) {
+    dp[(size_t{1} << j) * targets + j] = m.cost(0, j + 1);
+  }
+  for (size_t mask = 1; mask < masks; ++mask) {
+    for (int j = 0; j < targets; ++j) {
+      if (!(mask & (size_t{1} << j))) continue;
+      double base = dp[mask * targets + j];
+      if (base == kInfiniteCost) continue;
+      for (int k = 0; k < targets; ++k) {
+        if (mask & (size_t{1} << k)) continue;
+        size_t next = mask | (size_t{1} << k);
+        double cand = base + m.cost(j + 1, k + 1);
+        if (cand < dp[next * targets + k]) {
+          dp[next * targets + k] = cand;
+          parent[next * targets + k] = static_cast<int8_t>(j);
+        }
+      }
+    }
+  }
+
+  size_t full = masks - 1;
+  int best_end = 0;
+  double best = kInfiniteCost;
+  for (int j = 0; j < targets; ++j) {
+    if (dp[full * targets + j] < best) {
+      best = dp[full * targets + j];
+      best_end = j;
+    }
+  }
+
+  std::vector<int> order(cities);
+  size_t mask = full;
+  int j = best_end;
+  for (int pos = cities - 1; pos >= 1; --pos) {
+    order[pos] = j + 1;
+    int prev = parent[mask * targets + j];
+    mask &= ~(size_t{1} << j);
+    j = prev;
+  }
+  order[0] = 0;
+  return order;
+}
+
+StatusOr<std::vector<int>> SolveExactBruteForce(const CostMatrix& m) {
+  int cities = m.size();
+  int targets = cities - 1;
+  if (targets > kMaxBruteForceCities) {
+    return InvalidArgumentError("brute force limited to " +
+                                std::to_string(kMaxBruteForceCities) +
+                                " cities");
+  }
+  std::vector<int> perm(targets);
+  std::iota(perm.begin(), perm.end(), 1);
+  std::vector<int> best_perm = perm;
+  double best = kInfiniteCost;
+  do {
+    double total = 0.0;
+    int at = 0;
+    for (int c : perm) {
+      total += m.cost(at, c);
+      if (total >= best) break;  // admissible prune: costs are nonnegative
+      at = c;
+    }
+    if (total < best) {
+      best = total;
+      best_perm = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  std::vector<int> order;
+  order.reserve(cities);
+  order.push_back(0);
+  order.insert(order.end(), best_perm.begin(), best_perm.end());
+  return order;
+}
+
+}  // namespace serpentine::tsp

@@ -1,0 +1,36 @@
+// Exact solvers for the open-path asymmetric TSP (the paper's OPT
+// algorithm, §4). The problem is NP-hard; these are exponential and guarded
+// to small instances, exactly as the paper restricts OPT to ~12 requests.
+#ifndef SERPENTINE_TSP_EXACT_H_
+#define SERPENTINE_TSP_EXACT_H_
+
+#include <vector>
+
+#include "serpentine/tsp/cost_matrix.h"
+#include "serpentine/util/statusor.h"
+
+namespace serpentine::tsp {
+
+/// Maximum number of non-start cities SolveExactHeldKarp accepts
+/// (2^m × m doubles of DP state; 16 → ~8 MB).
+inline constexpr int kMaxHeldKarpCities = 16;
+
+/// Maximum number of non-start cities SolveExactBruteForce accepts.
+inline constexpr int kMaxBruteForceCities = 10;
+
+/// Optimal path by Held–Karp dynamic programming, O(2^m · m²) for m
+/// non-start cities. Returns the visiting order (starting with 0).
+/// Fails with InvalidArgument if m exceeds kMaxHeldKarpCities.
+serpentine::StatusOr<std::vector<int>> SolveExactHeldKarp(
+    const CostMatrix& m);
+
+/// Optimal path by exhaustive permutation — the paper's literal
+/// implementation of OPT ("calculates the minimal locate time over all
+/// permutations of R starting at I"). O(m! · m); used to cross-check
+/// Held–Karp in tests. Fails if m exceeds kMaxBruteForceCities.
+serpentine::StatusOr<std::vector<int>> SolveExactBruteForce(
+    const CostMatrix& m);
+
+}  // namespace serpentine::tsp
+
+#endif  // SERPENTINE_TSP_EXACT_H_

@@ -1,0 +1,33 @@
+// The LOSS greedy heuristic for the asymmetric traveling-salesman path
+// (paper §4, after [LLKS85]): repeatedly commit the cheapest edge incident
+// on the city whose "loss" — the gap between its best and second-best
+// remaining edge — is largest, so that committing the short edge avoids
+// being forced onto a much longer one later.
+#ifndef SERPENTINE_TSP_LOSS_H_
+#define SERPENTINE_TSP_LOSS_H_
+
+#include <vector>
+
+#include "serpentine/tsp/cost_matrix.h"
+
+namespace serpentine::tsp {
+
+/// Builds a Hamiltonian path over all cities starting at city 0 using the
+/// LOSS rule. O(n²) typical (the per-iteration work is revalidating
+/// cached best/second-best edges, rescanning a row only when one of its
+/// cached endpoints was consumed).
+std::vector<int> SolveLossPath(const CostMatrix& m);
+
+/// Statistics from a SolveLossPathWithStats run, for the ablation benches.
+struct LossStats {
+  int iterations = 0;
+  int row_rescans = 0;  ///< full O(n) rescans of a city's edge cache
+};
+
+/// As SolveLossPath, also reporting work counters.
+std::vector<int> SolveLossPathWithStats(const CostMatrix& m,
+                                        LossStats* stats);
+
+}  // namespace serpentine::tsp
+
+#endif  // SERPENTINE_TSP_LOSS_H_

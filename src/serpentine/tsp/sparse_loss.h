@@ -1,0 +1,44 @@
+// Sparse-graph variant of the LOSS heuristic — the paper's future-work
+// sketch (§4): run LOSS on a graph containing only a logarithmic number of
+// short candidate out-edges per city; when it can proceed no further,
+// contract each partial path into a single city and repeat on the reduced
+// (dense) problem until one connected path remains.
+#ifndef SERPENTINE_TSP_SPARSE_LOSS_H_
+#define SERPENTINE_TSP_SPARSE_LOSS_H_
+
+#include <functional>
+#include <vector>
+
+#include "serpentine/tsp/cost_matrix.h"
+
+namespace serpentine::tsp {
+
+/// Candidate edge in the sparse graph.
+struct SparseEdge {
+  int to = 0;
+  double cost = 0.0;
+};
+
+/// Work counters for the ablation bench.
+struct SparseLossStats {
+  int sparse_edges = 0;        ///< candidate edges offered
+  int sparse_commits = 0;      ///< edges committed in the sparse phase
+  int fragments_after_sparse = 0;
+  int contraction_cities = 0;  ///< size of the dense follow-up problem
+};
+
+/// Builds a Hamiltonian path starting at city 0.
+///
+/// `out_edges[u]` lists candidate successors of u (typically the O(log n)
+/// nearest in weave order). `full_cost(i, j)` supplies exact costs for the
+/// contraction phase, where partial paths are linked using the dense LOSS
+/// rule. Cities with empty candidate lists simply join in the contraction
+/// phase.
+std::vector<int> SolveSparseLossPath(
+    int n, const std::vector<std::vector<SparseEdge>>& out_edges,
+    const std::function<double(int, int)>& full_cost,
+    SparseLossStats* stats = nullptr);
+
+}  // namespace serpentine::tsp
+
+#endif  // SERPENTINE_TSP_SPARSE_LOSS_H_

@@ -1,0 +1,34 @@
+// CHECK macros: invariant assertions that abort with a diagnostic. Active in
+// all build types (these guard logic invariants, not performance paths).
+#ifndef SERPENTINE_UTIL_CHECK_H_
+#define SERPENTINE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace serpentine::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace serpentine::internal
+
+/// Aborts the process with a diagnostic if `cond` is false.
+#define SERPENTINE_CHECK(cond)                                        \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::serpentine::internal::CheckFailed(#cond, __FILE__, __LINE__); \
+  } while (0)
+
+/// Binary comparison checks; print the failing expression.
+#define SERPENTINE_CHECK_EQ(a, b) SERPENTINE_CHECK((a) == (b))
+#define SERPENTINE_CHECK_NE(a, b) SERPENTINE_CHECK((a) != (b))
+#define SERPENTINE_CHECK_LT(a, b) SERPENTINE_CHECK((a) < (b))
+#define SERPENTINE_CHECK_LE(a, b) SERPENTINE_CHECK((a) <= (b))
+#define SERPENTINE_CHECK_GT(a, b) SERPENTINE_CHECK((a) > (b))
+#define SERPENTINE_CHECK_GE(a, b) SERPENTINE_CHECK((a) >= (b))
+
+#endif  // SERPENTINE_UTIL_CHECK_H_

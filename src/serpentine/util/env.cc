@@ -1,0 +1,30 @@
+#include "serpentine/util/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace serpentine {
+
+BenchScale GetBenchScale() {
+  const char* v = std::getenv("SERPENTINE_SCALE");
+  if (v == nullptr) return BenchScale::kDefault;
+  if (std::strcmp(v, "full") == 0) return BenchScale::kFull;
+  if (std::strcmp(v, "smoke") == 0) return BenchScale::kSmoke;
+  return BenchScale::kDefault;
+}
+
+int64_t ScaledTrials(int64_t paper_trials, int64_t default_divisor,
+                     int64_t smoke_divisor, int64_t min_trials) {
+  switch (GetBenchScale()) {
+    case BenchScale::kFull:
+      return paper_trials;
+    case BenchScale::kDefault:
+      return std::max(min_trials, paper_trials / default_divisor);
+    case BenchScale::kSmoke:
+      return std::max(min_trials, paper_trials / smoke_divisor);
+  }
+  return min_trials;
+}
+
+}  // namespace serpentine

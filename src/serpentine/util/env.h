@@ -1,0 +1,27 @@
+// Environment knobs shared by the bench harnesses.
+#ifndef SERPENTINE_UTIL_ENV_H_
+#define SERPENTINE_UTIL_ENV_H_
+
+#include <cstdint>
+
+namespace serpentine {
+
+/// How aggressively the benches down-scale the paper's trial counts.
+enum class BenchScale {
+  kSmoke,    ///< SERPENTINE_SCALE=smoke: minimal trials, seconds per bench.
+  kDefault,  ///< unset: laptop-sized trials, tens of seconds per bench.
+  kFull,     ///< SERPENTINE_SCALE=full: the paper's trial counts.
+};
+
+/// Reads SERPENTINE_SCALE from the environment (see BenchScale).
+BenchScale GetBenchScale();
+
+/// Scales a paper trial count to the active BenchScale: full keeps it,
+/// default divides by `default_divisor`, smoke divides by `smoke_divisor`;
+/// the result is at least `min_trials`.
+int64_t ScaledTrials(int64_t paper_trials, int64_t default_divisor = 500,
+                     int64_t smoke_divisor = 10000, int64_t min_trials = 4);
+
+}  // namespace serpentine
+
+#endif  // SERPENTINE_UTIL_ENV_H_

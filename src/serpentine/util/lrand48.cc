@@ -1,0 +1,3 @@
+// Lrand48 is header-only; this file exists so the util library always has a
+// translation unit and to anchor the vtable-free types' debug symbols.
+#include "serpentine/util/lrand48.h"

@@ -1,0 +1,90 @@
+#include "serpentine/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "serpentine/util/check.h"
+
+namespace serpentine {
+
+void Accumulator::Add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Accumulator::Merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  int64_t total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.count_) /
+           static_cast<double>(total);
+  count_ = total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), width_((hi - lo) / buckets), counts_(buckets, 0) {
+  SERPENTINE_CHECK_GT(buckets, 0);
+  SERPENTINE_CHECK_GT(hi, lo);
+}
+
+void Histogram::Add(double x) {
+  int i = static_cast<int>((x - lo_) / width_);
+  i = std::clamp(i, 0, static_cast<int>(counts_.size()) - 1);
+  ++counts_[i];
+  ++total_;
+}
+
+double Histogram::Quantile(double q) const {
+  SERPENTINE_CHECK_GE(q, 0.0);
+  SERPENTINE_CHECK_LE(q, 1.0);
+  if (total_ == 0) return lo_;
+  double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      double frac =
+          counts_[i] > 0 ? (target - cum) / static_cast<double>(counts_[i])
+                         : 0.0;
+      return bucket_lo(static_cast<int>(i)) + frac * width_;
+    }
+    cum = next;
+  }
+  return lo_ + width_ * static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  char line[128];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    std::snprintf(line, sizeof(line), "%10.2f..%10.2f %8lld\n", bucket_lo(i),
+                  bucket_lo(i) + width_,
+                  static_cast<long long>(counts_[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace serpentine

@@ -1,0 +1,73 @@
+// Streaming statistics used by the simulation experiments: the paper reports
+// mean and standard deviation of schedule execution times per configuration.
+#ifndef SERPENTINE_UTIL_STATS_H_
+#define SERPENTINE_UTIL_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace serpentine {
+
+/// Welford-style streaming accumulator: mean, variance, extrema over a
+/// sequence of doubles without storing them.
+class Accumulator {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator's observations into this one.
+  void Merge(const Accumulator& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two observations.
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp into the
+/// first/last bucket. Used to inspect locate-time distributions.
+class Histogram {
+ public:
+  /// Creates `buckets` equal-width buckets spanning [lo, hi).
+  Histogram(double lo, double hi, int buckets);
+
+  /// Adds one observation.
+  void Add(double x);
+
+  int buckets() const { return static_cast<int>(counts_.size()); }
+  int64_t bucket_count(int i) const { return counts_[i]; }
+  /// Inclusive lower edge of bucket i.
+  double bucket_lo(int i) const { return lo_ + width_ * i; }
+  int64_t total() const { return total_; }
+
+  /// Value below which `q` (in [0,1]) of the mass lies, interpolated within
+  /// the containing bucket.
+  double Quantile(double q) const;
+
+  /// Multi-line "lo..hi count" rendering, for debugging.
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace serpentine
+
+#endif  // SERPENTINE_UTIL_STATS_H_

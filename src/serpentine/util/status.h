@@ -1,0 +1,84 @@
+// Status: lightweight error-reporting type used across the serpentine
+// libraries instead of exceptions. Modeled after the RocksDB/Abseil idiom:
+// fallible operations return Status (or StatusOr<T>), callers must inspect.
+#ifndef SERPENTINE_UTIL_STATUS_H_
+#define SERPENTINE_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace serpentine {
+
+/// Coarse error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: either OK, or a code plus message.
+///
+/// The type is cheap to copy in the OK case (no allocation) and carries an
+/// explanatory message otherwise. Use the factory helpers below rather than
+/// constructing codes directly.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. A message with
+  /// code kOk is meaningless; prefer OkStatus().
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// Explanatory message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Factory helpers, one per error category.
+inline Status OkStatus() { return Status(); }
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+
+}  // namespace serpentine
+
+/// Propagates a non-OK status to the caller. Usable only in functions
+/// returning Status.
+#define SERPENTINE_RETURN_IF_ERROR(expr)            \
+  do {                                              \
+    ::serpentine::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#endif  // SERPENTINE_UTIL_STATUS_H_

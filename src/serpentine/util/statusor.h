@@ -1,0 +1,72 @@
+// StatusOr<T>: value-or-error return type companion to Status.
+#ifndef SERPENTINE_UTIL_STATUSOR_H_
+#define SERPENTINE_UTIL_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "serpentine/util/check.h"
+#include "serpentine/util/status.h"
+
+namespace serpentine {
+
+/// Holds either a T or a non-OK Status explaining why no T was produced.
+///
+/// Accessing value() on an error StatusOr aborts the process (programming
+/// error), mirroring the Abseil contract.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. CHECK-fails if `status` is OK, since
+  /// an OK StatusOr must carry a value.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    SERPENTINE_CHECK(!status_.ok());
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; the StatusOr must be OK.
+  const T& value() const& {
+    SERPENTINE_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    SERPENTINE_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    SERPENTINE_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace serpentine
+
+/// Evaluates a StatusOr expression; on error returns the status, otherwise
+/// binds the value to `lhs`. Usable in functions returning Status or
+/// StatusOr.
+#define SERPENTINE_ASSIGN_OR_RETURN(lhs, expr)       \
+  SERPENTINE_ASSIGN_OR_RETURN_IMPL_(                 \
+      SERPENTINE_CONCAT_(_statusor_, __LINE__), lhs, expr)
+
+#define SERPENTINE_CONCAT_INNER_(a, b) a##b
+#define SERPENTINE_CONCAT_(a, b) SERPENTINE_CONCAT_INNER_(a, b)
+#define SERPENTINE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                      \
+  if (!tmp.ok()) return tmp.status();                     \
+  lhs = std::move(tmp).value()
+
+#endif  // SERPENTINE_UTIL_STATUSOR_H_

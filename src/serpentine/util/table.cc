@@ -1,0 +1,61 @@
+#include "serpentine/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace serpentine {
+
+void Table::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string Table::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < r.size(); ++i)
+      width[i] = std::max(width[i], r[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string();
+      out += cell;
+      if (i + 1 < cols) out.append(width[i] - cell.size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t rule = 0;
+    for (size_t i = 0; i < cols; ++i) rule += width[i] + (i + 1 < cols ? 2 : 0);
+    out.append(rule, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace serpentine

@@ -1,0 +1,41 @@
+// Aligned-column table printer used by the bench harnesses to emit the
+// rows/series of the paper's figures in a stable, parseable layout.
+#ifndef SERPENTINE_UTIL_TABLE_H_
+#define SERPENTINE_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace serpentine {
+
+/// Collects rows of string cells and renders them with columns padded to the
+/// widest cell. The first row added is treated as the header.
+class Table {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; rows may differ in arity (short rows pad empty).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(long long v);
+
+  /// Renders the table with two-space column separation and a rule under
+  /// the header.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace serpentine
+
+#endif  // SERPENTINE_UTIL_TABLE_H_

@@ -1,0 +1,114 @@
+#include "serpentine/workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "serpentine/util/check.h"
+
+namespace serpentine::workload {
+
+UniformGenerator::UniformGenerator(tape::SegmentId total_segments,
+                                   int32_t seed)
+    : total_(total_segments), rng_(seed) {
+  SERPENTINE_CHECK_GT(total_, 0);
+}
+
+std::vector<sched::Request> UniformGenerator::Batch(int n) {
+  std::vector<sched::Request> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i)
+    out.push_back(sched::Request{rng_.NextBounded(total_), 1});
+  return out;
+}
+
+ZipfGenerator::ZipfGenerator(tape::SegmentId total_segments, int objects,
+                             double theta, int32_t seed)
+    : total_(total_segments), objects_(objects), rng_(seed) {
+  SERPENTINE_CHECK_GT(objects, 0);
+  SERPENTINE_CHECK_GT(theta, 0.0);
+  cdf_.resize(objects);
+  double sum = 0.0;
+  for (int i = 0; i < objects; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (int i = 0; i < objects; ++i) cdf_[i] /= sum;
+}
+
+std::vector<sched::Request> ZipfGenerator::Batch(int n) {
+  std::vector<sched::Request> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double u = rng_.NextDouble();
+    int rank = static_cast<int>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    rank = std::min(rank, objects_ - 1);
+    // Scatter ranks over the tape deterministically (multiplicative hash)
+    // so popular objects are not all clustered at BOT.
+    uint64_t h = static_cast<uint64_t>(rank) * 2654435761u;
+    out.push_back(sched::Request{
+        static_cast<tape::SegmentId>(h % static_cast<uint64_t>(total_)), 1});
+  }
+  return out;
+}
+
+ClusteredGenerator::ClusteredGenerator(tape::SegmentId total_segments,
+                                       int clusters,
+                                       tape::SegmentId cluster_span,
+                                       int32_t seed)
+    : total_(total_segments), span_(cluster_span), rng_(seed) {
+  SERPENTINE_CHECK_GT(clusters, 0);
+  SERPENTINE_CHECK_GT(span_, 0);
+  centers_.reserve(clusters);
+  for (int i = 0; i < clusters; ++i)
+    centers_.push_back(rng_.NextBounded(total_));
+}
+
+std::vector<sched::Request> ClusteredGenerator::Batch(int n) {
+  std::vector<sched::Request> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    tape::SegmentId center =
+        centers_[rng_.NextBounded(static_cast<int64_t>(centers_.size()))];
+    tape::SegmentId offset = rng_.NextBounded(span_) - span_ / 2;
+    tape::SegmentId seg =
+        std::clamp<tape::SegmentId>(center + offset, 0, total_ - 1);
+    out.push_back(sched::Request{seg, 1});
+  }
+  return out;
+}
+
+SequentialRunGenerator::SequentialRunGenerator(tape::SegmentId total_segments,
+                                               int64_t run_length,
+                                               int32_t seed)
+    : total_(total_segments), run_length_(run_length), rng_(seed) {
+  SERPENTINE_CHECK_GT(run_length_, 0);
+  SERPENTINE_CHECK_LT(run_length_, total_);
+}
+
+std::vector<sched::Request> SequentialRunGenerator::Batch(int n) {
+  std::vector<sched::Request> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    tape::SegmentId start = rng_.NextBounded(total_ - run_length_);
+    out.push_back(sched::Request{start, run_length_});
+  }
+  return out;
+}
+
+TraceGenerator::TraceGenerator(std::vector<sched::Request> trace)
+    : trace_(std::move(trace)) {
+  SERPENTINE_CHECK(!trace_.empty());
+}
+
+std::vector<sched::Request> TraceGenerator::Batch(int n) {
+  std::vector<sched::Request> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(trace_[next_]);
+    next_ = (next_ + 1) % trace_.size();
+  }
+  return out;
+}
+
+}  // namespace serpentine::workload

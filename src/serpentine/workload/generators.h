@@ -1,0 +1,108 @@
+// Request-batch generators. The paper's simulations use uniformly random
+// segment numbers; the additional generators model the access patterns its
+// introduction motivates (data-mining scans, clustered object access) and
+// feed the extension benches.
+#ifndef SERPENTINE_WORKLOAD_GENERATORS_H_
+#define SERPENTINE_WORKLOAD_GENERATORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "serpentine/sched/request.h"
+#include "serpentine/tape/types.h"
+#include "serpentine/util/lrand48.h"
+
+namespace serpentine::workload {
+
+/// Produces batches of read requests against one tape.
+class RequestGenerator {
+ public:
+  virtual ~RequestGenerator() = default;
+
+  /// Returns the next batch of `n` requests.
+  virtual std::vector<sched::Request> Batch(int n) = 0;
+
+  /// Stable generator name for bench output.
+  virtual const char* name() const = 0;
+};
+
+/// Uniformly random segments — the paper's workload ("the pseudorandomly
+/// generated segment numbers range from 0 to 622057").
+class UniformGenerator : public RequestGenerator {
+ public:
+  UniformGenerator(tape::SegmentId total_segments, int32_t seed);
+  std::vector<sched::Request> Batch(int n) override;
+  const char* name() const override { return "uniform"; }
+
+ private:
+  tape::SegmentId total_;
+  serpentine::Lrand48 rng_;
+};
+
+/// Zipf-distributed access over fixed-size objects: object popularity
+/// follows rank^-theta, and each request reads the object's first segment.
+/// Models skewed database access where some relations are hot.
+class ZipfGenerator : public RequestGenerator {
+ public:
+  /// `objects` equally-spaced objects on a tape of `total_segments`;
+  /// `theta` in (0, 1]: higher is more skewed.
+  ZipfGenerator(tape::SegmentId total_segments, int objects, double theta,
+                int32_t seed);
+  std::vector<sched::Request> Batch(int n) override;
+  const char* name() const override { return "zipf"; }
+
+ private:
+  tape::SegmentId total_;
+  int objects_;
+  std::vector<double> cdf_;
+  serpentine::Lrand48 rng_;
+};
+
+/// Clustered access: requests fall near a small set of hot spots
+/// (e.g. recently appended partitions), uniform within a window around
+/// each.
+class ClusteredGenerator : public RequestGenerator {
+ public:
+  ClusteredGenerator(tape::SegmentId total_segments, int clusters,
+                     tape::SegmentId cluster_span, int32_t seed);
+  std::vector<sched::Request> Batch(int n) override;
+  const char* name() const override { return "clustered"; }
+
+ private:
+  tape::SegmentId total_;
+  std::vector<tape::SegmentId> centers_;
+  tape::SegmentId span_;
+  serpentine::Lrand48 rng_;
+};
+
+/// Short sequential runs at random positions: each logical request reads
+/// `run_length` consecutive segments, modeling object or page-run
+/// retrievals (paper Fig 7 varies exactly this transfer size).
+class SequentialRunGenerator : public RequestGenerator {
+ public:
+  SequentialRunGenerator(tape::SegmentId total_segments, int64_t run_length,
+                         int32_t seed);
+  std::vector<sched::Request> Batch(int n) override;
+  const char* name() const override { return "sequential-runs"; }
+
+ private:
+  tape::SegmentId total_;
+  int64_t run_length_;
+  serpentine::Lrand48 rng_;
+};
+
+/// Replays a fixed request list, cycling when exhausted.
+class TraceGenerator : public RequestGenerator {
+ public:
+  explicit TraceGenerator(std::vector<sched::Request> trace);
+  std::vector<sched::Request> Batch(int n) override;
+  const char* name() const override { return "trace"; }
+
+ private:
+  std::vector<sched::Request> trace_;
+  size_t next_ = 0;
+};
+
+}  // namespace serpentine::workload
+
+#endif  // SERPENTINE_WORKLOAD_GENERATORS_H_

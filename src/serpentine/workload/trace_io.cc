@@ -1,0 +1,75 @@
+#include "serpentine/workload/trace_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace serpentine::workload {
+
+std::string SerializeTrace(const std::vector<sched::Request>& trace) {
+  std::ostringstream out;
+  out << "# serpentine request trace: <segment> [count]\n";
+  for (const sched::Request& r : trace) {
+    out << r.segment;
+    if (r.count != 1) out << ' ' << r.count;
+    out << '\n';
+  }
+  return out.str();
+}
+
+serpentine::StatusOr<std::vector<sched::Request>> ParseTrace(
+    const std::string& text) {
+  std::vector<sched::Request> trace;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::istringstream fields(line);
+    sched::Request r;
+    if (!(fields >> r.segment)) {
+      return InvalidArgumentError("bad trace line " +
+                                  std::to_string(line_number) + ": " + line);
+    }
+    if (!(fields >> r.count)) r.count = 1;
+    std::string extra;
+    if (fields >> extra) {
+      return InvalidArgumentError("trailing data on trace line " +
+                                  std::to_string(line_number));
+    }
+    if (r.segment < 0 || r.count <= 0) {
+      return InvalidArgumentError("invalid request on trace line " +
+                                  std::to_string(line_number));
+    }
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+serpentine::Status SaveTrace(const std::string& path,
+                             const std::vector<sched::Request>& trace) {
+  std::string data = SerializeTrace(trace);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return InternalError("cannot open for writing: " + path);
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  int rc = std::fclose(f);
+  if (written != data.size() || rc != 0) {
+    return InternalError("short write: " + path);
+  }
+  return OkStatus();
+}
+
+serpentine::StatusOr<std::vector<sched::Request>> LoadTrace(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return NotFoundError("cannot open: " + path);
+  std::string data;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+  return ParseTrace(data);
+}
+
+}  // namespace serpentine::workload

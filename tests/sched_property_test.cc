@@ -1,0 +1,132 @@
+// Seed-sweep property tests over the scheduling stack: invariants that
+// must hold for any random batch, checked across many seeds with TEST_P.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "serpentine/serpentine.h"
+
+namespace serpentine::sched {
+namespace {
+
+using tape::SegmentId;
+
+class SchedulingPropertyTest : public ::testing::TestWithParam<int32_t> {
+ protected:
+  SchedulingPropertyTest()
+      : model_(tape::TapeGeometry::Generate(tape::Dlt4000TapeParams(), 1),
+               tape::Dlt4000Timings()),
+        rng_(GetParam()) {}
+
+  std::vector<Request> Batch(int n) {
+    std::vector<Request> out;
+    for (int i = 0; i < n; ++i)
+      out.push_back(
+          Request{rng_.NextBounded(model_.geometry().total_segments()), 1});
+    return out;
+  }
+
+  double Cost(const Schedule& s) const {
+    return EstimateScheduleSeconds(model_, s);
+  }
+
+  tape::Dlt4000LocateModel model_;
+  Lrand48 rng_;
+};
+
+TEST_P(SchedulingPropertyTest, EverySchedulerBeatsFifoOnAverageBatches) {
+  std::vector<Request> requests = Batch(64);
+  SegmentId initial = rng_.NextBounded(model_.geometry().total_segments());
+  auto fifo = BuildSchedule(model_, initial, requests, Algorithm::kFifo);
+  ASSERT_TRUE(fifo.ok());
+  double fifo_cost = Cost(*fifo);
+  for (Algorithm a : {Algorithm::kSort, Algorithm::kScan, Algorithm::kWeave,
+                      Algorithm::kSltf, Algorithm::kLoss,
+                      Algorithm::kSparseLoss}) {
+    auto s = BuildSchedule(model_, initial, requests, a);
+    ASSERT_TRUE(s.ok());
+    // Individual batches can be unlucky for SORT; everything else must
+    // strictly beat FIFO, and SORT must not be a disaster.
+    double limit = a == Algorithm::kSort ? fifo_cost * 1.1 : fifo_cost;
+    EXPECT_LT(Cost(*s), limit) << AlgorithmName(a) << " seed " << GetParam();
+  }
+}
+
+TEST_P(SchedulingPropertyTest, EstimatorAgreesWithExecutorEverywhere) {
+  std::vector<Request> requests = Batch(32);
+  SegmentId initial = rng_.NextBounded(model_.geometry().total_segments());
+  for (Algorithm a : kAllAlgorithms) {
+    if (a == Algorithm::kOpt) continue;
+    auto s = BuildSchedule(model_, initial, requests, a);
+    ASSERT_TRUE(s.ok());
+    sim::ExecutionResult r = sim::ExecuteSchedule(model_, *s);
+    EXPECT_NEAR(r.total_seconds, Cost(*s), 1e-9) << AlgorithmName(a);
+  }
+}
+
+TEST_P(SchedulingPropertyTest, LossPerLocateDecreasesWithBatchSize) {
+  double prev = 1e18;
+  for (int n : {8, 32, 128, 512}) {
+    sim::PointStats p = sim::SimulatePoint(model_, model_,
+                                           Algorithm::kLoss, n,
+                                           /*trials=*/6, false, GetParam());
+    EXPECT_LT(p.mean_seconds_per_locate, prev) << "n=" << n;
+    prev = p.mean_seconds_per_locate;
+  }
+}
+
+TEST_P(SchedulingPropertyTest, CoalescingPartitionsAnyBatch) {
+  std::vector<Request> requests = Batch(256);
+  for (int64_t threshold : {0L, 700L, 1410L, 10000L}) {
+    auto groups = CoalesceRequests(requests, threshold);
+    size_t members = 0;
+    SegmentId prev_last = -1;
+    for (const auto& g : groups) {
+      members += g.members.size();
+      EXPECT_GT(g.in(), prev_last);  // groups disjoint & ordered
+      SegmentId prev = -1;
+      for (const auto& r : g.members) {
+        EXPECT_GE(r.segment, prev);  // ascending within group
+        prev = r.segment;
+      }
+      prev_last = g.last();
+    }
+    EXPECT_EQ(members, requests.size());
+  }
+}
+
+TEST_P(SchedulingPropertyTest, OrOptIsIdempotentAtFixpoint) {
+  std::vector<Request> requests = Batch(32);
+  auto s = BuildSchedule(model_, 0, requests, Algorithm::kLoss);
+  ASSERT_TRUE(s.ok());
+  ImproveSchedule(model_, &s.value());
+  LocalSearchStats again = ImproveSchedule(model_, &s.value());
+  EXPECT_EQ(again.moves, 0);
+  EXPECT_NEAR(again.seconds_saved, 0.0, 1e-9);
+}
+
+TEST_P(SchedulingPropertyTest, OptMatchesLossPlusSearchOrBetter) {
+  std::vector<Request> requests = Batch(7);
+  SegmentId initial = rng_.NextBounded(model_.geometry().total_segments());
+  auto opt = BuildSchedule(model_, initial, requests, Algorithm::kOpt);
+  auto loss = BuildSchedule(model_, initial, requests, Algorithm::kLoss);
+  ASSERT_TRUE(opt.ok());
+  ASSERT_TRUE(loss.ok());
+  ImproveSchedule(model_, &loss.value());
+  EXPECT_LE(Cost(*opt), Cost(*loss) + 1e-6);
+}
+
+TEST_P(SchedulingPropertyTest, SimulatePointIsDeterministicPerSeed) {
+  sim::PointStats a = sim::SimulatePoint(model_, model_, Algorithm::kSltf,
+                                         24, 10, false, GetParam());
+  sim::PointStats b = sim::SimulatePoint(model_, model_, Algorithm::kSltf,
+                                         24, 10, false, GetParam());
+  EXPECT_DOUBLE_EQ(a.mean_total_seconds, b.mean_total_seconds);
+  EXPECT_DOUBLE_EQ(a.std_total_seconds, b.std_total_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulingPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace serpentine::sched

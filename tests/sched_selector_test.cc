@@ -1,0 +1,111 @@
+#include "serpentine/sched/selector.h"
+
+#include <gtest/gtest.h>
+
+#include "serpentine/sched/estimator.h"
+#include "serpentine/util/lrand48.h"
+
+namespace serpentine::sched {
+namespace {
+
+class SelectorTest : public ::testing::Test {
+ protected:
+  SelectorTest()
+      : model_(tape::TapeGeometry::Generate(tape::Dlt4000TapeParams(), 1),
+               tape::Dlt4000Timings()) {}
+
+  std::vector<Request> Batch(int n, int32_t seed) {
+    Lrand48 rng(seed);
+    std::vector<Request> out;
+    for (int i = 0; i < n; ++i)
+      out.push_back(
+          Request{rng.NextBounded(model_.geometry().total_segments()), 1});
+    return out;
+  }
+
+  tape::Dlt4000LocateModel model_;
+};
+
+TEST_F(SelectorTest, StaticRuleMatchesPaperGuidance) {
+  EXPECT_EQ(RecommendedAlgorithm(1), Algorithm::kOpt);
+  EXPECT_EQ(RecommendedAlgorithm(10), Algorithm::kOpt);
+  EXPECT_EQ(RecommendedAlgorithm(11), Algorithm::kLoss);
+  EXPECT_EQ(RecommendedAlgorithm(1536), Algorithm::kLoss);
+  EXPECT_EQ(RecommendedAlgorithm(1537), Algorithm::kRead);
+  EXPECT_EQ(RecommendedAlgorithm(20, /*opt_cutoff=*/24), Algorithm::kOpt);
+}
+
+TEST_F(SelectorTest, TinyBatchUsesOpt) {
+  auto s = BuildBestSchedule(model_, 0, Batch(6, 3));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->algorithm, Algorithm::kOpt);
+}
+
+TEST_F(SelectorTest, MediumBatchUsesHeuristic) {
+  auto s = BuildBestSchedule(model_, 0, Batch(100, 3));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->algorithm, Algorithm::kLoss);
+  EXPECT_FALSE(s->full_tape_scan);
+}
+
+TEST_F(SelectorTest, DenseBatchDowngradesToFullRead) {
+  auto s = BuildBestSchedule(model_, 0, Batch(3000, 3));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->algorithm, Algorithm::kRead);
+  EXPECT_TRUE(s->full_tape_scan);
+}
+
+TEST_F(SelectorTest, CrossoverDependsOnDistributionNotJustSize) {
+  // 3000 distinct requests packed into a narrow band: a schedule is far
+  // faster than a full pass, so the estimate-based selector keeps the
+  // heuristic where a fixed N>1536 rule would wrongly choose READ.
+  // (Distinct positions matter: duplicate segments force ~24 s backward
+  // repositioning per re-read, which would dominate the estimate.)
+  std::vector<Request> clustered;
+  for (int i = 0; i < 3000; ++i)
+    clustered.push_back(Request{100000 + 12 * i, 1});
+  SelectorOptions options;
+  options.scheduler_options.loss_coalesce_threshold =
+      kDefaultCoalesceThreshold;  // keep the dense batch cheap to schedule
+  auto s = BuildBestSchedule(model_, 0, clustered, options);
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(s->full_tape_scan);
+  EXPECT_LT(EstimateScheduleSeconds(model_, *s), 2000.0);
+}
+
+TEST_F(SelectorTest, ComparisonCanBeDisabled) {
+  SelectorOptions options;
+  options.compare_with_full_read = false;
+  options.scheduler_options.loss_coalesce_threshold =
+      kDefaultCoalesceThreshold;
+  auto s = BuildBestSchedule(model_, 0, Batch(3000, 3), options);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->algorithm, Algorithm::kLoss);
+}
+
+TEST_F(SelectorTest, AlternativeHeuristic) {
+  SelectorOptions options;
+  options.heuristic = Algorithm::kScan;
+  auto s = BuildBestSchedule(model_, 0, Batch(64, 5), options);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->algorithm, Algorithm::kScan);
+}
+
+TEST_F(SelectorTest, SelectedScheduleNeverWorseThanBothEndpoints) {
+  for (int n : {4, 40, 400, 2500}) {
+    std::vector<Request> requests = Batch(n, 11 + n);
+    SelectorOptions options;
+    options.scheduler_options.loss_coalesce_threshold =
+        kDefaultCoalesceThreshold;
+    auto best = BuildBestSchedule(model_, 0, requests, options);
+    ASSERT_TRUE(best.ok());
+    auto read = BuildSchedule(model_, 0, requests, Algorithm::kRead);
+    ASSERT_TRUE(read.ok());
+    EXPECT_LE(EstimateScheduleSeconds(model_, *best),
+              EstimateScheduleSeconds(model_, *read) + 1e-6)
+        << n;
+  }
+}
+
+}  // namespace
+}  // namespace serpentine::sched

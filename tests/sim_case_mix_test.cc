@@ -1,0 +1,92 @@
+#include "serpentine/sim/case_mix.h"
+
+#include <gtest/gtest.h>
+
+#include "serpentine/sched/scheduler.h"
+#include "serpentine/sim/experiment.h"
+#include "serpentine/util/lrand48.h"
+
+namespace serpentine::sim {
+namespace {
+
+class CaseMixTest : public ::testing::Test {
+ protected:
+  CaseMixTest()
+      : model_(tape::TapeGeometry::Generate(tape::Dlt4000TapeParams(), 1),
+               tape::Dlt4000Timings()) {}
+  tape::Dlt4000LocateModel model_;
+};
+
+TEST_F(CaseMixTest, CountsAndSecondsAreConsistent) {
+  Lrand48 rng(3);
+  auto requests = GenerateUniformRequests(
+      rng, 64, model_.geometry().total_segments());
+  auto s = sched::BuildSchedule(model_, 0, requests,
+                                sched::Algorithm::kLoss);
+  ASSERT_TRUE(s.ok());
+  CaseMix mix = AnalyzeCaseMix(model_, *s);
+  int64_t count_sum = 0;
+  double seconds_sum = 0.0;
+  double fraction_sum = 0.0;
+  for (int i = 0; i < CaseMix::kCases; ++i) {
+    count_sum += mix.count[i];
+    seconds_sum += mix.seconds[i];
+    fraction_sum += mix.fraction(static_cast<tape::LocateCase>(i + 1));
+  }
+  EXPECT_EQ(count_sum, mix.total_locates);
+  EXPECT_NEAR(seconds_sum, mix.total_seconds, 1e-9);
+  EXPECT_NEAR(fraction_sum, 1.0, 1e-9);
+  EXPECT_LE(mix.short_locates, mix.total_locates);
+  EXPECT_EQ(mix.total_locates, 64);
+}
+
+TEST_F(CaseMixTest, ReadScheduleHasNoLocates) {
+  Lrand48 rng(5);
+  auto requests = GenerateUniformRequests(
+      rng, 16, model_.geometry().total_segments());
+  auto s = sched::BuildSchedule(model_, 0, requests,
+                                sched::Algorithm::kRead);
+  ASSERT_TRUE(s.ok());
+  CaseMix mix = AnalyzeCaseMix(model_, *s);
+  EXPECT_EQ(mix.total_locates, 0);
+  EXPECT_DOUBLE_EQ(mix.short_fraction(), 0.0);
+}
+
+TEST_F(CaseMixTest, DenseSchedulesShiftToShortLocates) {
+  Lrand48 rng(7);
+  auto small_batch = GenerateUniformRequests(
+      rng, 16, model_.geometry().total_segments());
+  auto large_batch = GenerateUniformRequests(
+      rng, 1024, model_.geometry().total_segments());
+  auto small = sched::BuildSchedule(model_, 0, small_batch,
+                                    sched::Algorithm::kLoss);
+  auto large = sched::BuildSchedule(model_, 0, large_batch,
+                                    sched::Algorithm::kLoss);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  CaseMix mix_small = AnalyzeCaseMix(model_, *small);
+  CaseMix mix_large = AnalyzeCaseMix(model_, *large);
+  // The paper's Fig 8 explanation: large schedules are dominated by short
+  // locates (the less-accurate region of the model).
+  EXPECT_GT(mix_large.short_fraction(), mix_small.short_fraction());
+  EXPECT_GT(mix_large.short_fraction(), 0.5);
+  // ... and case-1 read-forwards become common.
+  EXPECT_GT(mix_large.fraction(tape::LocateCase::kReadForward),
+            mix_small.fraction(tape::LocateCase::kReadForward));
+}
+
+TEST_F(CaseMixTest, FifoFromRandomPositionsIsMostlyCrossTrackScans) {
+  Lrand48 rng(9);
+  auto requests = GenerateUniformRequests(
+      rng, 128, model_.geometry().total_segments());
+  auto s = sched::BuildSchedule(model_, 0, requests,
+                                sched::Algorithm::kFifo);
+  ASSERT_TRUE(s.ok());
+  CaseMix mix = AnalyzeCaseMix(model_, *s);
+  // Uniform random hops almost never land forward-in-same-track.
+  EXPECT_LT(mix.fraction(tape::LocateCase::kReadForward), 0.1);
+  EXPECT_LT(mix.short_fraction(), 0.2);
+}
+
+}  // namespace
+}  // namespace serpentine::sim

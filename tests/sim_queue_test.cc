@@ -1,0 +1,111 @@
+#include "serpentine/sim/queue_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace serpentine::sim {
+namespace {
+
+class QueueSimTest : public ::testing::Test {
+ protected:
+  QueueSimTest()
+      : model_(tape::TapeGeometry::Generate(tape::Dlt4000TapeParams(), 1),
+               tape::Dlt4000Timings()) {}
+  tape::Dlt4000LocateModel model_;
+};
+
+TEST_F(QueueSimTest, CompletesEveryRequestAndInvariantsHold) {
+  QueueSimConfig config;
+  config.total_requests = 120;
+  config.arrival_rate_per_hour = 40.0;
+  QueueSimResult r = RunQueueSimulation(model_, config);
+  EXPECT_EQ(r.completed, 120);
+  EXPECT_GT(r.batches, 0);
+  EXPECT_GE(r.mean_batch_size, 1.0);
+  EXPECT_GT(r.makespan_seconds, 0.0);
+  EXPECT_LE(r.drive_busy_seconds, r.makespan_seconds + 1e-6);
+  EXPECT_GE(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0 + 1e-9);
+  EXPECT_LE(r.mean_response_seconds, r.p95_response_seconds + 1e-9);
+  EXPECT_LE(r.p95_response_seconds, r.max_response_seconds + 1e-9);
+}
+
+TEST_F(QueueSimTest, DeterministicPerSeed) {
+  QueueSimConfig config;
+  config.total_requests = 60;
+  QueueSimResult a = RunQueueSimulation(model_, config);
+  QueueSimResult b = RunQueueSimulation(model_, config);
+  EXPECT_DOUBLE_EQ(a.mean_response_seconds, b.mean_response_seconds);
+  EXPECT_EQ(a.batches, b.batches);
+}
+
+TEST_F(QueueSimTest, LightLoadImmediateDispatchHasSmallBatches) {
+  QueueSimConfig config;
+  config.arrival_rate_per_hour = 10.0;  // far below saturation
+  config.total_requests = 60;
+  QueueSimResult r = RunQueueSimulation(model_, config);
+  EXPECT_LT(r.mean_batch_size, 2.0);
+  // Response ≈ one random locate + read: around 80 s, plus rare queueing.
+  EXPECT_LT(r.mean_response_seconds, 250.0);
+}
+
+TEST_F(QueueSimTest, OverloadWithFifoQueuesUnboundedly) {
+  // 80/hour exceeds FIFO's ~44/hour service rate: waits blow up.
+  QueueSimConfig fifo;
+  fifo.arrival_rate_per_hour = 80.0;
+  fifo.total_requests = 200;
+  fifo.algorithm = sched::Algorithm::kFifo;
+  QueueSimResult r_fifo = RunQueueSimulation(model_, fifo);
+
+  // LOSS with dispatch batching sustains it comfortably.
+  QueueSimConfig loss = fifo;
+  loss.algorithm = sched::Algorithm::kLoss;
+  loss.dispatch_min_batch = 16;
+  QueueSimResult r_loss = RunQueueSimulation(model_, loss);
+
+  EXPECT_LT(r_loss.mean_response_seconds,
+            r_fifo.mean_response_seconds * 0.5);
+  EXPECT_LT(r_loss.drive_busy_seconds, r_fifo.drive_busy_seconds);
+}
+
+TEST_F(QueueSimTest, MinBatchRaisesBatchSizeAndEfficiency) {
+  QueueSimConfig small;
+  small.arrival_rate_per_hour = 60.0;
+  small.total_requests = 150;
+  small.dispatch_min_batch = 1;
+  QueueSimConfig large = small;
+  large.dispatch_min_batch = 32;
+  QueueSimResult r_small = RunQueueSimulation(model_, small);
+  QueueSimResult r_large = RunQueueSimulation(model_, large);
+  EXPECT_GT(r_large.mean_batch_size, r_small.mean_batch_size);
+  EXPECT_LT(r_large.drive_busy_seconds, r_small.drive_busy_seconds);
+}
+
+TEST_F(QueueSimTest, MaxWaitBoundsResponseUnderLightLoad) {
+  QueueSimConfig config;
+  config.arrival_rate_per_hour = 20.0;
+  config.total_requests = 80;
+  config.dispatch_min_batch = 1000;          // never fires on size...
+  config.dispatch_max_wait_seconds = 1800.0;  // ...so the wait bound rules
+  QueueSimResult r = RunQueueSimulation(model_, config);
+  EXPECT_EQ(r.completed, 80);
+  // The oldest request in each batch waited ~1800 s plus service.
+  EXPECT_GT(r.mean_batch_size, 5.0);
+  EXPECT_LT(r.p95_response_seconds, 1800.0 + 4000.0);
+}
+
+TEST_F(QueueSimTest, DenseOverloadFallsBackSanely) {
+  // Very high arrival rate: batches grow huge; the system must still
+  // complete everything with bounded per-request busy time.
+  QueueSimConfig config;
+  config.arrival_rate_per_hour = 2000.0;
+  config.total_requests = 600;
+  config.dispatch_min_batch = 64;
+  config.scheduler_options.loss_coalesce_threshold =
+      sched::kDefaultCoalesceThreshold;
+  QueueSimResult r = RunQueueSimulation(model_, config);
+  EXPECT_EQ(r.completed, 600);
+  EXPECT_LT(r.drive_busy_seconds / r.completed, 40.0);
+}
+
+}  // namespace
+}  // namespace serpentine::sim

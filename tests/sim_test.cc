@@ -1,0 +1,339 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "serpentine/sched/estimator.h"
+#include "serpentine/sched/scheduler.h"
+#include "serpentine/sim/executor.h"
+#include "serpentine/sim/experiment.h"
+#include "serpentine/sim/perturbed_model.h"
+#include "serpentine/sim/physical_drive.h"
+#include "serpentine/util/lrand48.h"
+#include "serpentine/util/stats.h"
+
+namespace serpentine::sim {
+namespace {
+
+using sched::Algorithm;
+using sched::BuildSchedule;
+using sched::Request;
+using sched::Schedule;
+using tape::Dlt4000LocateModel;
+using tape::Dlt4000TapeParams;
+using tape::Dlt4000Timings;
+using tape::SegmentId;
+using tape::TapeGeometry;
+
+class SimTest : public ::testing::Test {
+ protected:
+  SimTest()
+      : model_(TapeGeometry::Generate(Dlt4000TapeParams(), 1),
+               Dlt4000Timings()) {}
+  Dlt4000LocateModel model_;
+};
+
+// ---------------------------------------------------------------------------
+// Executor.
+// ---------------------------------------------------------------------------
+
+TEST_F(SimTest, ExecutorMatchesEstimatorOnSameModel) {
+  Lrand48 rng(3);
+  std::vector<Request> requests =
+      GenerateUniformRequests(rng, 32, model_.geometry().total_segments());
+  auto s = BuildSchedule(model_, 0, requests, Algorithm::kLoss);
+  ASSERT_TRUE(s.ok());
+  ExecutionResult r = ExecuteSchedule(model_, *s);
+  EXPECT_NEAR(r.total_seconds, sched::EstimateScheduleSeconds(model_, *s),
+              1e-9);
+  EXPECT_NEAR(r.total_seconds, r.locate_seconds + r.read_seconds, 1e-9);
+  EXPECT_EQ(r.locates, 32);
+  EXPECT_EQ(r.segments_read, 32);
+}
+
+TEST_F(SimTest, ExecutorTracksFinalPosition) {
+  Schedule s;
+  s.initial_position = 0;
+  s.order = {Request{1000, 5}, Request{90000, 1}};
+  ExecutionResult r = ExecuteSchedule(model_, s);
+  EXPECT_EQ(r.final_position, 90001);
+}
+
+TEST_F(SimTest, ExecutorRewindOption) {
+  Schedule s;
+  s.initial_position = 0;
+  s.order = {Request{300000, 1}};
+  sched::EstimateOptions opts;
+  opts.rewind_at_end = true;
+  ExecutionResult r = ExecuteSchedule(model_, s, opts);
+  EXPECT_GT(r.rewind_seconds, 0.0);
+  EXPECT_EQ(r.final_position, 0);
+}
+
+TEST_F(SimTest, ExecutorFullTapeScan) {
+  Schedule s;
+  s.full_tape_scan = true;
+  ExecutionResult r = ExecuteSchedule(model_, s);
+  EXPECT_NEAR(r.total_seconds, model_.FullReadAndRewindSeconds(), 1.0);
+  EXPECT_EQ(r.segments_read, model_.geometry().total_segments());
+  EXPECT_EQ(r.final_position, 0);
+  EXPECT_GT(r.utilization(), 0.9);  // a full scan is nearly all transfer
+}
+
+TEST_F(SimTest, PercentErrorDefinition) {
+  EXPECT_DOUBLE_EQ(PercentError(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(PercentError(95.0, 100.0), -5.0);
+}
+
+// ---------------------------------------------------------------------------
+// PerturbedLocateModel (paper §7, Fig 10 error model).
+// ---------------------------------------------------------------------------
+
+TEST_F(SimTest, PerturbationFollowsDestinationParity) {
+  PerturbedLocateModel perturbed(&model_, 5.0);
+  for (SegmentId dst : {40000, 40001, 500000, 500001}) {
+    double base = model_.LocateSeconds(0, dst);
+    double p = perturbed.LocateSeconds(0, dst);
+    if (dst % 2 == 0) {
+      EXPECT_NEAR(p - base, 5.0, 1e-9) << dst;
+    } else {
+      EXPECT_NEAR(base - p, 5.0, 1e-9) << dst;
+    }
+  }
+}
+
+TEST_F(SimTest, PerturbationHasMeanZeroOverRandomDestinations) {
+  PerturbedLocateModel perturbed(&model_, 10.0);
+  Lrand48 rng(5);
+  Accumulator delta;
+  for (int i = 0; i < 4000; ++i) {
+    SegmentId dst = rng.NextBounded(model_.geometry().total_segments());
+    delta.Add(perturbed.LocateSeconds(0, dst) -
+              model_.LocateSeconds(0, dst));
+  }
+  EXPECT_NEAR(delta.mean(), 0.0, 0.5);
+}
+
+TEST_F(SimTest, PerturbationNeverGoesNegativeAndDelegatesRest) {
+  PerturbedLocateModel perturbed(&model_, 1000.0);
+  EXPECT_GE(perturbed.LocateSeconds(0, 101), 0.0);
+  EXPECT_DOUBLE_EQ(perturbed.ReadSeconds(10, 20),
+                   model_.ReadSeconds(10, 20));
+  EXPECT_DOUBLE_EQ(perturbed.RewindSeconds(5000),
+                   model_.RewindSeconds(5000));
+  EXPECT_EQ(&perturbed.geometry(), &model_.geometry());
+}
+
+// ---------------------------------------------------------------------------
+// PhysicalDrive (ground truth for validation, paper §6).
+// ---------------------------------------------------------------------------
+
+TEST_F(SimTest, PhysicalDriveNoiseIsSmallAndMostlyWithinTwoSeconds) {
+  // Paper §3: the model differed from the real drive by >2 s on only 7 of
+  // 3000 locates on the modeled tape.
+  PhysicalDrive drive(TapeGeometry::Generate(Dlt4000TapeParams(), 1),
+                      Dlt4000Timings());
+  Lrand48 rng(7);
+  int big = 0;
+  constexpr int kLocates = 3000;
+  for (int i = 0; i < kLocates; ++i) {
+    SegmentId a = rng.NextBounded(model_.geometry().total_segments());
+    SegmentId b = rng.NextBounded(model_.geometry().total_segments());
+    double err =
+        std::abs(drive.LocateSeconds(a, b) - model_.LocateSeconds(a, b));
+    if (err > 2.0) ++big;
+  }
+  EXPECT_LT(big, 40);  // a fraction of a percent, as measured in the paper
+}
+
+TEST_F(SimTest, PhysicalDriveIsReproducibleAfterReset) {
+  PhysicalDrive drive(TapeGeometry::Generate(Dlt4000TapeParams(), 1),
+                      Dlt4000Timings());
+  drive.ResetNoise(99);
+  double a = drive.LocateSeconds(0, 400000);
+  drive.ResetNoise(99);
+  EXPECT_DOUBLE_EQ(drive.LocateSeconds(0, 400000), a);
+}
+
+TEST_F(SimTest, PhysicalDriveShortLocatesRunSlowerThanModel) {
+  // The systematic short-locate bias: measurement exceeds estimate on
+  // section-to-section hops, the regime that dominates large schedules.
+  PhysicalDrive drive(TapeGeometry::Generate(Dlt4000TapeParams(), 1),
+                      Dlt4000Timings());
+  Accumulator delta;
+  const auto& g = model_.geometry();
+  for (int t = 0; t < 32; ++t) {
+    SegmentId a = g.KeyPointSegment(t, 5);
+    SegmentId b = g.KeyPointSegment(t, 6);
+    delta.Add(drive.LocateSeconds(a, b) - model_.LocateSeconds(a, b));
+  }
+  EXPECT_GT(delta.mean(), 0.05);
+}
+
+TEST_F(SimTest, ValidationSmallScheduleErrorIsTiny) {
+  // Mini Fig 8: with the right key points, estimates track measurements to
+  // within ~1-2% at modest schedule sizes.
+  TapeGeometry tape_a = TapeGeometry::Generate(Dlt4000TapeParams(), 1);
+  PhysicalDrive drive(tape_a, Dlt4000Timings());
+  Lrand48 rng(11);
+  for (int trial = 0; trial < 4; ++trial) {
+    auto reqs =
+        GenerateUniformRequests(rng, 64, tape_a.total_segments());
+    auto s = BuildSchedule(model_, 0, reqs, Algorithm::kLoss);
+    ASSERT_TRUE(s.ok());
+    double estimate = sched::EstimateScheduleSeconds(model_, *s);
+    double measured = ExecuteSchedule(drive, *s).total_seconds;
+    EXPECT_LT(std::abs(PercentError(estimate, measured)), 3.0);
+  }
+}
+
+TEST_F(SimTest, WrongKeyPointsBlowUpTheEstimates) {
+  // Mini Fig 9: scheduling tape A with tape B's key points makes the
+  // estimate far worse than with the right key points.
+  TapeGeometry tape_a = TapeGeometry::Generate(Dlt4000TapeParams(), 1);
+  TapeGeometry tape_b = TapeGeometry::Generate(Dlt4000TapeParams(), 2);
+  Dlt4000LocateModel model_b(tape_b, Dlt4000Timings());
+  PhysicalDrive drive(tape_a, Dlt4000Timings());
+  Lrand48 rng(13);
+  double right_err = 0.0, wrong_err = 0.0;
+  constexpr int kTrials = 4;
+  // Stay within both tapes' capacity so the wrong-key-points model accepts
+  // every request.
+  tape::SegmentId usable =
+      std::min(tape_a.total_segments(), tape_b.total_segments());
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto reqs = GenerateUniformRequests(rng, 256, usable);
+    auto right = BuildSchedule(model_, 0, reqs, Algorithm::kLoss);
+    // The wrong-key-points model believes a slightly different capacity;
+    // requests are all valid on both tapes by construction of the jitter.
+    auto wrong = BuildSchedule(model_b, 0, reqs, Algorithm::kLoss);
+    ASSERT_TRUE(right.ok());
+    ASSERT_TRUE(wrong.ok());
+    right_err += std::abs(PercentError(
+        sched::EstimateScheduleSeconds(model_, *right),
+        ExecuteSchedule(drive, *right).total_seconds));
+    wrong_err += std::abs(PercentError(
+        sched::EstimateScheduleSeconds(model_b, *wrong),
+        ExecuteSchedule(drive, *wrong).total_seconds));
+  }
+  right_err /= kTrials;
+  wrong_err /= kTrials;
+  EXPECT_LT(right_err, 3.0);
+  EXPECT_GT(wrong_err, right_err * 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Experiment harness.
+// ---------------------------------------------------------------------------
+
+TEST_F(SimTest, PaperScheduleLengthsMatchFigureThree) {
+  const auto& lengths = PaperScheduleLengths();
+  EXPECT_EQ(lengths.size(), 26u);
+  EXPECT_EQ(lengths.front(), 1);
+  EXPECT_EQ(lengths[10], 12);
+  EXPECT_EQ(lengths.back(), 2048);
+}
+
+TEST_F(SimTest, PaperTrialCounts) {
+  EXPECT_EQ(PaperTrials(1), 100000);
+  EXPECT_EQ(PaperTrials(192), 100000);
+  EXPECT_EQ(PaperTrials(256), 25000);
+  EXPECT_EQ(PaperTrials(384), 12000);
+  EXPECT_EQ(PaperTrials(512), 7000);
+  EXPECT_EQ(PaperTrials(768), 3000);
+  EXPECT_EQ(PaperTrials(1024), 1600);
+  EXPECT_EQ(PaperTrials(1536), 800);
+  EXPECT_EQ(PaperTrials(2048), 400);
+  EXPECT_EQ(PaperTrialsOpt(9), 100000);
+  EXPECT_EQ(PaperTrialsOpt(10), 10000);
+  EXPECT_EQ(PaperTrialsOpt(12), 100);
+  EXPECT_EQ(PaperTrialsOpt(16), 0);
+}
+
+TEST_F(SimTest, GenerateUniformRequestsIsSeededAndInRange) {
+  Lrand48 a(21), b(21);
+  auto r1 = GenerateUniformRequests(a, 100, 622058);
+  auto r2 = GenerateUniformRequests(b, 100, 622058);
+  EXPECT_EQ(r1.size(), 100u);
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].segment, r2[i].segment);
+    EXPECT_GE(r1[i].segment, 0);
+    EXPECT_LT(r1[i].segment, 622058);
+    EXPECT_EQ(r1[i].count, 1);
+  }
+}
+
+TEST_F(SimTest, SimulatePointFifoMatchesExpectedPerLocate) {
+  PointStats p = SimulatePoint(model_, model_, Algorithm::kFifo, 16, 200,
+                               /*start_at_bot=*/false, 31);
+  EXPECT_EQ(p.n, 16);
+  EXPECT_EQ(p.trials, 200);
+  // FIFO per-locate ≈ E[random locate] (+ ~20 ms read) ≈ 70-80 s.
+  EXPECT_GT(p.mean_seconds_per_locate, 62.0);
+  EXPECT_LT(p.mean_seconds_per_locate, 85.0);
+  EXPECT_GT(p.std_total_seconds, 0.0);
+  EXPECT_GE(p.mean_schedule_cpu_seconds, 0.0);
+}
+
+TEST_F(SimTest, SimulatePointBotStartCostsMoreForSingleLocate) {
+  PointStats random_start = SimulatePoint(
+      model_, model_, Algorithm::kFifo, 1, 400, /*start_at_bot=*/false, 33);
+  PointStats bot_start = SimulatePoint(model_, model_, Algorithm::kFifo, 1,
+                                       400, /*start_at_bot=*/true, 33);
+  // Paper §3: E[locate from BOT] (96.5 s) > E[random→random] (72.4 s).
+  EXPECT_GT(bot_start.mean_seconds_per_locate,
+            random_start.mean_seconds_per_locate);
+}
+
+TEST_F(SimTest, SimulatePointSchedulingBeatsFifo) {
+  PointStats fifo = SimulatePoint(model_, model_, Algorithm::kFifo, 64, 25,
+                                  false, 35);
+  PointStats loss = SimulatePoint(model_, model_, Algorithm::kLoss, 64, 25,
+                                  false, 35);
+  EXPECT_LT(loss.mean_seconds_per_locate,
+            fifo.mean_seconds_per_locate * 0.6);
+}
+
+TEST_F(SimTest, ChainedBatchesMatchRandomStartApproximation) {
+  // The paper's scenario 1: the head starts each batch where the previous
+  // one ended. Fig 4 approximates this with an independent uniform start;
+  // the two must agree closely at moderate batch sizes.
+  constexpr int kN = 64;
+  PointStats chained = SimulateChainedBatches(
+      model_, Algorithm::kLoss, kN, /*batches=*/40, 51);
+  PointStats random_start = SimulatePoint(
+      model_, model_, Algorithm::kLoss, kN, /*trials=*/40, false, 51);
+  EXPECT_NEAR(chained.mean_seconds_per_locate,
+              random_start.mean_seconds_per_locate,
+              random_start.mean_seconds_per_locate * 0.12);
+  EXPECT_EQ(chained.trials, 40);
+  EXPECT_GT(chained.std_total_seconds, 0.0);
+}
+
+TEST_F(SimTest, ChainedBatchesFirstBatchStartsAtBot) {
+  // With a single chained batch the head begins at 0 (fresh mount), so the
+  // result matches the BOT-start point exactly for the same seed.
+  PointStats chained =
+      SimulateChainedBatches(model_, Algorithm::kSort, 16, 1, 53);
+  PointStats bot =
+      SimulatePoint(model_, model_, Algorithm::kSort, 16, 1, true, 53);
+  EXPECT_NEAR(chained.mean_total_seconds, bot.mean_total_seconds, 1e-9);
+}
+
+TEST_F(SimTest, SimulatePointPerturbedSchedulingDegradesExecution) {
+  // Mini Fig 10: schedules built with a badly perturbed model execute
+  // (slightly) slower on the true model than schedules built with the true
+  // model. With E=10 the paper reports a 1-2% degradation.
+  PerturbedLocateModel perturbed(&model_, 10.0);
+  constexpr int kN = 128;
+  PointStats clean =
+      SimulatePoint(model_, model_, Algorithm::kLoss, kN, 20, true, 37);
+  PointStats noisy =
+      SimulatePoint(perturbed, model_, Algorithm::kLoss, kN, 20, true, 37);
+  double increase = (noisy.mean_total_seconds - clean.mean_total_seconds) /
+                    clean.mean_total_seconds * 100.0;
+  EXPECT_GT(increase, -0.5);
+  EXPECT_LT(increase, 8.0);
+}
+
+}  // namespace
+}  // namespace serpentine::sim

@@ -1,0 +1,104 @@
+#include "serpentine/sim/wear.h"
+
+#include <gtest/gtest.h>
+
+#include "serpentine/sched/scheduler.h"
+#include "serpentine/sim/experiment.h"
+#include "serpentine/util/lrand48.h"
+
+namespace serpentine::sim {
+namespace {
+
+class WearTest : public ::testing::Test {
+ protected:
+  WearTest()
+      : model_(tape::TapeGeometry::Generate(tape::Dlt4000TapeParams(), 1),
+               tape::Dlt4000Timings()) {}
+  tape::Dlt4000LocateModel model_;
+};
+
+TEST_F(WearTest, MotionCoversExpectedBins) {
+  WearTracker w(&model_.geometry(), 14);  // one bin per section unit
+  w.RecordMotion(0.5, 3.5);               // bins 0..3
+  EXPECT_EQ(w.bin_passes(0), 1);
+  EXPECT_EQ(w.bin_passes(3), 1);
+  EXPECT_EQ(w.bin_passes(4), 0);
+  w.RecordMotion(3.2, 1.1);  // direction-agnostic: bins 1..3 again
+  EXPECT_EQ(w.bin_passes(2), 2);
+  EXPECT_EQ(w.max_passes(), 2);
+  EXPECT_NEAR(w.full_length_equivalents(), (3.0 + 2.1) / 14.0, 1e-9);
+}
+
+TEST_F(WearTest, FullScanWearsEveryRegionOncePerTrack) {
+  WearTracker w(&model_.geometry(), 140);
+  sched::Schedule read;
+  read.full_tape_scan = true;
+  w.RecordSchedule(model_, read);
+  EXPECT_EQ(w.max_passes(), 64);
+  EXPECT_NEAR(w.mean_passes(), 64.0, 1e-9);
+  EXPECT_NEAR(w.full_length_equivalents(), 64.0, 1e-9);
+}
+
+TEST_F(WearTest, ScheduledBatchMovesLessTapeThanFifo) {
+  Lrand48 rng(3);
+  auto requests = GenerateUniformRequests(
+      rng, 96, model_.geometry().total_segments());
+  auto fifo =
+      sched::BuildSchedule(model_, 0, requests, sched::Algorithm::kFifo);
+  auto loss =
+      sched::BuildSchedule(model_, 0, requests, sched::Algorithm::kLoss);
+  ASSERT_TRUE(fifo.ok());
+  ASSERT_TRUE(loss.ok());
+  WearTracker w_fifo(&model_.geometry());
+  WearTracker w_loss(&model_.geometry());
+  w_fifo.RecordSchedule(model_, *fifo);
+  w_loss.RecordSchedule(model_, *loss);
+  // Scheduling reduces tape motion (and therefore wear) along with time.
+  EXPECT_LT(w_loss.full_length_equivalents(),
+            w_fifo.full_length_equivalents() * 0.75);
+  EXPECT_LE(w_loss.max_passes(), w_fifo.max_passes());
+}
+
+TEST_F(WearTest, RewindAddsOnePassDownTheTape) {
+  sched::Schedule s;
+  s.initial_position = 0;
+  s.order = {sched::Request{300000, 1}};
+  WearTracker without(&model_.geometry(), 14);
+  WearTracker with(&model_.geometry(), 14);
+  without.RecordSchedule(model_, s, /*rewind_at_end=*/false);
+  with.RecordSchedule(model_, s, /*rewind_at_end=*/true);
+  EXPECT_GT(with.full_length_equivalents(),
+            without.full_length_equivalents());
+  EXPECT_GE(with.bin_passes(0), without.bin_passes(0) + 1);
+}
+
+TEST_F(WearTest, LifeConsumedUsesDltRating) {
+  WearTracker w(&model_.geometry(), 14);
+  for (int i = 0; i < 500; ++i) w.RecordMotion(0.0, 14.0);
+  EXPECT_NEAR(w.life_consumed(), 500.0 / 500000.0, 1e-9);
+  // The paper's Exabyte figure: the same motion consumes 1/3 of a helical
+  // tape's 1,500-pass rating.
+  EXPECT_NEAR(w.life_consumed(1500), 1.0 / 3.0, 1e-9);
+}
+
+TEST_F(WearTest, LocateMotionMatchesModelDecomposition) {
+  // One locate: motion = head -> scan target -> destination.
+  tape::SegmentId src = 0;
+  tape::SegmentId dst = model_.geometry().ToSegment(tape::Coord{8, 6, 100});
+  WearTracker w(&model_.geometry(), 14);
+  sched::Schedule s;
+  s.initial_position = src;
+  s.order = {sched::Request{dst, 1}};
+  w.RecordSchedule(model_, s);
+  double target = model_.ScanTargetPhysical(src, dst);
+  double p_dst = model_.geometry().PhysicalPosition(dst);
+  EXPECT_NEAR(w.full_length_equivalents(),
+              (std::abs(target - 0.0) + std::abs(p_dst - target) +
+               w.full_length_equivalents() * 0.0 +
+               /*transfer*/ (1.0 / 704.0)) /
+                  14.0,
+              0.01);
+}
+
+}  // namespace
+}  // namespace serpentine::sim

@@ -1,0 +1,196 @@
+// Cross-family property tests: every geometry/model invariant must hold
+// for every serpentine drive family and any cartridge seed, not just the
+// DLT4000 the paper measures.
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "serpentine/serpentine.h"
+
+namespace serpentine::tape {
+namespace {
+
+struct Family {
+  const char* name;
+  TapeParams params;
+  DriveTimings timings;
+};
+
+Family Families(int i) {
+  switch (i) {
+    case 0:
+      return {"dlt4000", Dlt4000TapeParams(), Dlt4000Timings()};
+    case 1:
+      return {"dlt7000", Dlt7000TapeParams(), Dlt7000Timings()};
+    default:
+      return {"ibm3590", Ibm3590TapeParams(), Ibm3590Timings()};
+  }
+}
+
+using FamilySeed = std::tuple<int, int32_t>;
+
+class TapeFamilyTest : public ::testing::TestWithParam<FamilySeed> {
+ protected:
+  TapeFamilyTest()
+      : family_(Families(std::get<0>(GetParam()))),
+        geometry_(TapeGeometry::Generate(family_.params,
+                                         std::get<1>(GetParam()))),
+        model_(geometry_, family_.timings) {}
+
+  Family family_;
+  TapeGeometry geometry_;
+  Dlt4000LocateModel model_;
+};
+
+TEST_P(TapeFamilyTest, CoordRoundTrip) {
+  Lrand48 rng(std::get<1>(GetParam()) + 100);
+  for (int i = 0; i < 4000; ++i) {
+    SegmentId seg = rng.NextBounded(geometry_.total_segments());
+    EXPECT_EQ(geometry_.ToSegment(geometry_.ToCoord(seg)), seg);
+  }
+}
+
+TEST_P(TapeFamilyTest, TracksPartitionTheTape) {
+  EXPECT_EQ(geometry_.track_start(0), 0);
+  int64_t sum = 0;
+  for (int t = 0; t < geometry_.num_tracks(); ++t) {
+    sum += geometry_.track_segments(t);
+  }
+  EXPECT_EQ(sum, geometry_.total_segments());
+}
+
+TEST_P(TapeFamilyTest, KeyPointsStrictlyIncreaseWithinTracks) {
+  for (int t = 0; t < geometry_.num_tracks(); ++t) {
+    EXPECT_EQ(geometry_.KeyPointSegment(t, 0), geometry_.track_start(t));
+    for (int r = 1; r < geometry_.sections_per_track(); ++r) {
+      EXPECT_GT(geometry_.KeyPointSegment(t, r),
+                geometry_.KeyPointSegment(t, r - 1));
+    }
+  }
+}
+
+TEST_P(TapeFamilyTest, PhysicalPositionsStayOnTape) {
+  Lrand48 rng(std::get<1>(GetParam()) + 200);
+  for (int i = 0; i < 4000; ++i) {
+    SegmentId seg = rng.NextBounded(geometry_.total_segments());
+    double p = geometry_.PhysicalPosition(seg);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, geometry_.params().physical_sections);
+  }
+}
+
+TEST_P(TapeFamilyTest, LocatesArePositiveBoundedAndZeroOnSelf) {
+  Lrand48 rng(std::get<1>(GetParam()) + 300);
+  // Worst case: full-length scan + overheads + a long read leg.
+  const DriveTimings& t = family_.timings;
+  double bound = t.scan_overhead_seconds + t.track_switch_seconds +
+                 t.reversal_penalty_seconds +
+                 geometry_.params().physical_sections *
+                     (t.scan_seconds_per_section) +
+                 3.2 * t.read_seconds_per_section;
+  for (int i = 0; i < 4000; ++i) {
+    SegmentId a = rng.NextBounded(geometry_.total_segments());
+    SegmentId b = rng.NextBounded(geometry_.total_segments());
+    double time = model_.LocateSeconds(a, b);
+    if (a == b) {
+      EXPECT_EQ(time, 0.0);
+    } else {
+      EXPECT_GT(time, 0.0);
+      EXPECT_LE(time, bound);
+    }
+  }
+  EXPECT_EQ(model_.LocateSeconds(42, 42), 0.0);
+}
+
+TEST_P(TapeFamilyTest, SltfFactsHoldInEveryFamily) {
+  Lrand48 rng(std::get<1>(GetParam()) + 400);
+  // Fact 2: a section's cheapest entry is its lowest-numbered segment.
+  for (int i = 0; i < 300; ++i) {
+    SegmentId src = rng.NextBounded(geometry_.total_segments());
+    int t = static_cast<int>(rng.NextBounded(geometry_.num_tracks()));
+    int r = static_cast<int>(
+        rng.NextBounded(geometry_.sections_per_track()));
+    SegmentId first = geometry_.KeyPointSegment(t, r);
+    SegmentId past = r + 1 < geometry_.sections_per_track()
+                         ? geometry_.KeyPointSegment(t, r + 1)
+                         : geometry_.track_start(t + 1);
+    if (src >= first && src < past) continue;
+    double best = model_.LocateSeconds(src, first);
+    for (int k = 0; k < 6; ++k) {
+      SegmentId other = first + 1 + rng.NextBounded(past - first - 1);
+      EXPECT_LE(best, model_.LocateSeconds(src, other) + 1e-9);
+    }
+  }
+}
+
+TEST_P(TapeFamilyTest, FullReadIsLongerThanAnyLocate) {
+  double full = model_.FullReadAndRewindSeconds();
+  Lrand48 rng(std::get<1>(GetParam()) + 500);
+  for (int i = 0; i < 1000; ++i) {
+    SegmentId a = rng.NextBounded(geometry_.total_segments());
+    SegmentId b = rng.NextBounded(geometry_.total_segments());
+    EXPECT_LT(model_.LocateSeconds(a, b), full);
+  }
+}
+
+TEST_P(TapeFamilyTest, ClassificationConsistentWithGeometry) {
+  Lrand48 rng(std::get<1>(GetParam()) + 600);
+  for (int i = 0; i < 3000; ++i) {
+    SegmentId a = rng.NextBounded(geometry_.total_segments());
+    SegmentId b = rng.NextBounded(geometry_.total_segments());
+    if (a == b) continue;
+    LocateCase c = model_.Classify(a, b);
+    bool same_direction = geometry_.IsForwardTrack(geometry_.TrackOf(a)) ==
+                          geometry_.IsForwardTrack(geometry_.TrackOf(b));
+    switch (c) {
+      case LocateCase::kReadForward:
+        EXPECT_EQ(geometry_.TrackOf(a), geometry_.TrackOf(b));
+        EXPECT_GE(b, a);
+        break;
+      case LocateCase::kScanForwardCoDirectional:
+      case LocateCase::kScanBackwardCoDirectional:
+      case LocateCase::kTrackStartCoDirectional:
+        EXPECT_TRUE(same_direction);
+        break;
+      case LocateCase::kScanForwardAntiDirectional:
+      case LocateCase::kScanBackwardAntiDirectional:
+      case LocateCase::kTrackStartAntiDirectional:
+        EXPECT_FALSE(same_direction);
+        break;
+    }
+    if (c == LocateCase::kTrackStartCoDirectional ||
+        c == LocateCase::kTrackStartAntiDirectional) {
+      EXPECT_LE(geometry_.ReadingSectionOf(b), 1);
+    }
+  }
+}
+
+TEST_P(TapeFamilyTest, SchedulingStillBeatsFifo) {
+  Lrand48 rng(std::get<1>(GetParam()) + 700);
+  std::vector<sched::Request> requests;
+  for (int i = 0; i < 48; ++i)
+    requests.push_back(
+        sched::Request{rng.NextBounded(geometry_.total_segments()), 1});
+  auto fifo =
+      sched::BuildSchedule(model_, 0, requests, sched::Algorithm::kFifo);
+  auto loss =
+      sched::BuildSchedule(model_, 0, requests, sched::Algorithm::kLoss);
+  ASSERT_TRUE(fifo.ok());
+  ASSERT_TRUE(loss.ok());
+  EXPECT_LT(sched::EstimateScheduleSeconds(model_, *loss),
+            sched::EstimateScheduleSeconds(model_, *fifo) * 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, TapeFamilyTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 7, 2026)),
+    [](const ::testing::TestParamInfo<FamilySeed>& info) {
+      return std::string(Families(std::get<0>(info.param)).name) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace serpentine::tape

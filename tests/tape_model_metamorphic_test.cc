@@ -1,0 +1,144 @@
+// Metamorphic properties of the locate model: relations that must hold
+// between *pairs* of locate queries, independent of the calibrated
+// constants. These pin the geometry of the model rather than its values.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "serpentine/tape/locate_model.h"
+#include "serpentine/util/lrand48.h"
+
+namespace serpentine::tape {
+namespace {
+
+class MetamorphicTest : public ::testing::Test {
+ protected:
+  MetamorphicTest()
+      : geometry_(TapeGeometry::Generate(Dlt4000TapeParams(), 1)),
+        model_(geometry_, Dlt4000Timings()) {}
+
+  SegmentId At(int track, int section, int index) const {
+    return geometry_.ToSegment(Coord{track, section, index});
+  }
+
+  TapeGeometry geometry_;
+  Dlt4000LocateModel model_;
+};
+
+TEST_F(MetamorphicTest, BreakdownSumsToLocateTime) {
+  Lrand48 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    SegmentId a = rng.NextBounded(geometry_.total_segments());
+    SegmentId b = rng.NextBounded(geometry_.total_segments());
+    auto breakdown = model_.ExplainLocate(a, b);
+    EXPECT_NEAR(breakdown.total_seconds, model_.LocateSeconds(a, b), 1e-9);
+    EXPECT_NEAR(breakdown.total_seconds,
+                breakdown.scan_seconds + breakdown.read_seconds, 1e-9);
+    EXPECT_EQ(breakdown.locate_case, model_.Classify(a, b));
+  }
+}
+
+TEST_F(MetamorphicTest, CaseOneHasNoScanComponent) {
+  Lrand48 rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    SegmentId a = rng.NextBounded(geometry_.total_segments());
+    SegmentId b = rng.NextBounded(geometry_.total_segments());
+    auto breakdown = model_.ExplainLocate(a, b);
+    if (breakdown.locate_case == LocateCase::kReadForward) {
+      EXPECT_EQ(breakdown.scan_seconds, 0.0);
+      EXPECT_FALSE(breakdown.track_change);
+    } else {
+      EXPECT_GT(breakdown.scan_seconds, 0.0);
+    }
+  }
+}
+
+TEST_F(MetamorphicTest, ReadForwardIsAdditiveAlongATrack) {
+  // Within case-1 range: locate(a, c) == locate(a, b) + locate(b, c)
+  // (pure read-forward is distance-proportional).
+  SegmentId a = At(12, 4, 100);
+  SegmentId b = At(12, 4, 400);
+  SegmentId c = At(12, 5, 200);
+  ASSERT_EQ(model_.Classify(a, c), LocateCase::kReadForward);
+  EXPECT_NEAR(model_.LocateSeconds(a, c),
+              model_.LocateSeconds(a, b) + model_.LocateSeconds(b, c),
+              1e-9);
+}
+
+TEST_F(MetamorphicTest, DestinationDominatesSourceForFarScans) {
+  // For a fixed destination, two sources on the same track and physical
+  // position of *different* sections reach it through the same key point:
+  // their locate difference equals their scan-distance difference only.
+  SegmentId dst = At(40, 8, 300);
+  SegmentId src1 = At(10, 2, 50);
+  SegmentId src2 = At(10, 4, 50);
+  auto b1 = model_.ExplainLocate(src1, dst);
+  auto b2 = model_.ExplainLocate(src2, dst);
+  EXPECT_NEAR(b1.read_seconds, b2.read_seconds, 1e-9);
+  EXPECT_NEAR(
+      b1.total_seconds - b2.total_seconds,
+      (b1.scan_distance_sections - b2.scan_distance_sections) * 10.0, 0.1);
+}
+
+TEST_F(MetamorphicTest, CoDirectionalTracksAreInterchangeableSources) {
+  // Sources at the same (section, index) on different co-directional
+  // tracks see nearly identical costs to any third-track destination
+  // (physical positions differ only by boundary jitter).
+  Lrand48 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    int s = static_cast<int>(rng.NextBounded(12)) + 1;
+    SegmentId src1 = At(20, s, 100);
+    SegmentId src2 = At(24, s, 100);
+    SegmentId dst = At(41, static_cast<int>(rng.NextBounded(10)) + 2, 50);
+    EXPECT_NEAR(model_.LocateSeconds(src1, dst),
+                model_.LocateSeconds(src2, dst), 2.0);
+  }
+}
+
+TEST_F(MetamorphicTest, MovingDestinationWithinSectionShiftsReadOnly) {
+  // Two destinations in the same section (from a far source) differ only
+  // in the read-forward leg.
+  SegmentId src = At(2, 1, 10);
+  SegmentId d1 = At(50, 9, 100);
+  SegmentId d2 = At(50, 9, 500);
+  auto b1 = model_.ExplainLocate(src, d1);
+  auto b2 = model_.ExplainLocate(src, d2);
+  EXPECT_NEAR(b1.scan_seconds, b2.scan_seconds, 1e-9);
+  EXPECT_GT(b2.read_seconds, b1.read_seconds);
+  EXPECT_EQ(b1.locate_case, b2.locate_case);
+}
+
+TEST_F(MetamorphicTest, ScanTargetIsAlwaysBeforeDestinationInReadingOrder) {
+  Lrand48 rng(9);
+  for (int i = 0; i < 3000; ++i) {
+    SegmentId a = rng.NextBounded(geometry_.total_segments());
+    SegmentId b = rng.NextBounded(geometry_.total_segments());
+    if (a == b) continue;
+    double target = model_.ScanTargetPhysical(a, b);
+    double p_dst = geometry_.PhysicalPosition(b);
+    int dir = geometry_.IsForwardTrack(geometry_.TrackOf(b)) ? +1 : -1;
+    // Reading proceeds from the target toward the destination.
+    EXPECT_GE((p_dst - target) * dir, -1e-9)
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST_F(MetamorphicTest, PerturbingSourceWithinItsSegmentIsImmaterial) {
+  // Locates are defined segment-to-segment; adjacent sources differ by at
+  // most one segment width of physics (≈0.03 s) plus at most one
+  // reversal-penalty flip — never by a whole section.
+  Lrand48 rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    SegmentId a =
+        1 + rng.NextBounded(geometry_.total_segments() - 2);
+    SegmentId b = rng.NextBounded(geometry_.total_segments());
+    if (b == a || b == a + 1) continue;
+    double t1 = model_.LocateSeconds(a, b);
+    double t2 = model_.LocateSeconds(a + 1, b);
+    if (geometry_.TrackOf(a) != geometry_.TrackOf(a + 1)) continue;
+    EXPECT_LT(std::abs(t1 - t2), 3.0) << "a=" << a << " b=" << b;
+  }
+}
+
+}  // namespace
+}  // namespace serpentine::tape

@@ -1,0 +1,52 @@
+#include "serpentine/util/env.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace serpentine {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv("SERPENTINE_SCALE"); }
+};
+
+TEST_F(EnvTest, DefaultWhenUnset) {
+  ::unsetenv("SERPENTINE_SCALE");
+  EXPECT_EQ(GetBenchScale(), BenchScale::kDefault);
+  EXPECT_EQ(ScaledTrials(100000), 200);  // divisor 500
+}
+
+TEST_F(EnvTest, FullKeepsPaperCounts) {
+  ::setenv("SERPENTINE_SCALE", "full", 1);
+  EXPECT_EQ(GetBenchScale(), BenchScale::kFull);
+  EXPECT_EQ(ScaledTrials(100000), 100000);
+}
+
+TEST_F(EnvTest, SmokeShrinksHard) {
+  ::setenv("SERPENTINE_SCALE", "smoke", 1);
+  EXPECT_EQ(GetBenchScale(), BenchScale::kSmoke);
+  EXPECT_EQ(ScaledTrials(100000), 10);
+}
+
+TEST_F(EnvTest, UnknownValueFallsBackToDefault) {
+  ::setenv("SERPENTINE_SCALE", "banana", 1);
+  EXPECT_EQ(GetBenchScale(), BenchScale::kDefault);
+}
+
+TEST_F(EnvTest, MinimumTrialsEnforced) {
+  ::unsetenv("SERPENTINE_SCALE");
+  EXPECT_EQ(ScaledTrials(100), 4);  // 100/500 < 4
+  EXPECT_EQ(ScaledTrials(100, 500, 10000, 7), 7);
+}
+
+TEST_F(EnvTest, CustomDivisors) {
+  ::unsetenv("SERPENTINE_SCALE");
+  EXPECT_EQ(ScaledTrials(1000, 10), 100);
+  ::setenv("SERPENTINE_SCALE", "smoke", 1);
+  EXPECT_EQ(ScaledTrials(100000, 10, 100), 1000);
+}
+
+}  // namespace
+}  // namespace serpentine

@@ -1,0 +1,112 @@
+#include "serpentine/util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "serpentine/util/table.h"
+
+namespace serpentine {
+namespace {
+
+TEST(AccumulatorTest, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(AccumulatorTest, SingleValue) {
+  Accumulator a;
+  a.Add(3.5);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 3.5);
+  EXPECT_DOUBLE_EQ(a.max(), 3.5);
+}
+
+TEST(AccumulatorTest, KnownMeanAndStddev) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.Add(x);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_NEAR(a.sum(), 40.0, 1e-9);
+}
+
+TEST(AccumulatorTest, MergeMatchesConcatenation) {
+  Accumulator whole, left, right;
+  for (int i = 0; i < 100; ++i) {
+    double x = std::sin(i) * 10 + i * 0.1;
+    whole.Add(x);
+    (i < 37 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(AccumulatorTest, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  Accumulator b = a;
+  b.Merge(empty);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(9.5);
+  h.Add(-5.0);   // clamps into bucket 0
+  h.Add(100.0);  // clamps into last bucket
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(9), 2);
+}
+
+TEST(HistogramTest, QuantileOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.0), 0.0, 1.5);
+}
+
+TEST(HistogramTest, ToStringListsNonEmptyBuckets) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(1.5);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t;
+  t.SetHeader({"N", "mean", "sd"});
+  t.AddRow({"1", "72.40", "30.1"});
+  t.AddRow({"2048", "6.80", "0.2"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("N     mean   sd"), std::string::npos);
+  EXPECT_NE(s.find("2048"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, NumAndIntFormat) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(3.0, 0), "3");
+  EXPECT_EQ(Table::Int(-12), "-12");
+}
+
+}  // namespace
+}  // namespace serpentine

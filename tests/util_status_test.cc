@@ -1,0 +1,93 @@
+#include "serpentine/util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "serpentine/util/statusor.h"
+
+namespace serpentine {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, FactoryHelpersCarryCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("bad n").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(InvalidArgumentError("bad n").message(), "bad n");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(NotFoundError("segment 7").ToString(), "NotFound: segment 7");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFoundError("a"), NotFoundError("a"));
+  EXPECT_FALSE(NotFoundError("a") == NotFoundError("b"));
+  EXPECT_FALSE(NotFoundError("a") == InternalError("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return InternalError("boom"); };
+  auto outer = [&]() -> Status {
+    SERPENTINE_RETURN_IF_ERROR(inner());
+    return OkStatus();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ReturnIfErrorPassesThroughOk) {
+  auto inner = []() { return OkStatus(); };
+  auto outer = [&]() -> Status {
+    SERPENTINE_RETURN_IF_ERROR(inner());
+    return NotFoundError("after");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(NotFoundError("nope"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, AssignOrReturnUnwraps) {
+  auto make = [](bool ok) -> StatusOr<int> {
+    if (ok) return 7;
+    return InternalError("no");
+  };
+  auto use = [&](bool ok) -> StatusOr<int> {
+    SERPENTINE_ASSIGN_OR_RETURN(int x, make(ok));
+    return x + 1;
+  };
+  EXPECT_EQ(use(true).value(), 8);
+  EXPECT_EQ(use(false).status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, MovesValueOut) {
+  StatusOr<std::string> v(std::string(100, 'x'));
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s.size(), 100u);
+}
+
+}  // namespace
+}  // namespace serpentine

@@ -1,0 +1,112 @@
+#include "serpentine/workload/generators.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace serpentine::workload {
+namespace {
+
+constexpr tape::SegmentId kTotal = 622058;
+
+TEST(UniformGeneratorTest, InRangeAndSeeded) {
+  UniformGenerator a(kTotal, 5), b(kTotal, 5);
+  auto ba = a.Batch(200), bb = b.Batch(200);
+  ASSERT_EQ(ba.size(), 200u);
+  for (size_t i = 0; i < ba.size(); ++i) {
+    EXPECT_EQ(ba[i].segment, bb[i].segment);
+    EXPECT_GE(ba[i].segment, 0);
+    EXPECT_LT(ba[i].segment, kTotal);
+    EXPECT_EQ(ba[i].count, 1);
+  }
+  EXPECT_STREQ(a.name(), "uniform");
+}
+
+TEST(UniformGeneratorTest, SuccessiveBatchesDiffer) {
+  UniformGenerator g(kTotal, 5);
+  auto b1 = g.Batch(50), b2 = g.Batch(50);
+  int same = 0;
+  for (size_t i = 0; i < b1.size(); ++i)
+    if (b1[i].segment == b2[i].segment) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(UniformGeneratorTest, CoversTheWholeTape) {
+  UniformGenerator g(kTotal, 9);
+  auto batch = g.Batch(5000);
+  int buckets[10] = {};
+  for (const auto& r : batch) ++buckets[r.segment * 10 / kTotal];
+  for (int b = 0; b < 10; ++b) EXPECT_GT(buckets[b], 300);
+}
+
+TEST(ZipfGeneratorTest, SkewConcentratesOnFewObjects) {
+  ZipfGenerator g(kTotal, 1000, 0.99, 7);
+  std::map<tape::SegmentId, int> counts;
+  auto batch = g.Batch(10000);
+  for (const auto& r : batch) {
+    EXPECT_GE(r.segment, 0);
+    EXPECT_LT(r.segment, kTotal);
+    ++counts[r.segment];
+  }
+  // With theta≈1 over 1000 objects, the most popular object draws ~13% of
+  // accesses and the top handful dominate.
+  int max_count = 0, total = 0;
+  for (const auto& [seg, c] : counts) {
+    max_count = std::max(max_count, c);
+    total += c;
+  }
+  EXPECT_EQ(total, 10000);
+  EXPECT_GT(max_count, 600);
+  EXPECT_LT(counts.size(), 1000u);
+}
+
+TEST(ZipfGeneratorTest, LowThetaIsFlatter) {
+  ZipfGenerator skewed(kTotal, 500, 0.99, 7);
+  ZipfGenerator flat(kTotal, 500, 0.2, 7);
+  auto count_distinct = [](std::vector<sched::Request> batch) {
+    std::map<tape::SegmentId, int> counts;
+    for (const auto& r : batch) ++counts[r.segment];
+    return counts.size();
+  };
+  EXPECT_LT(count_distinct(skewed.Batch(3000)),
+            count_distinct(flat.Batch(3000)));
+}
+
+TEST(ClusteredGeneratorTest, RequestsStayNearCenters) {
+  constexpr tape::SegmentId kSpan = 2000;
+  ClusteredGenerator g(kTotal, 4, kSpan, 11);
+  auto batch = g.Batch(2000);
+  // All requests fall into at most 4 spans => at most 4 * kSpan distinct
+  // positions; verify by bucketing into kSpan-wide bins.
+  std::map<tape::SegmentId, int> bins;
+  for (const auto& r : batch) {
+    EXPECT_GE(r.segment, 0);
+    EXPECT_LT(r.segment, kTotal);
+    ++bins[r.segment / kSpan];
+  }
+  EXPECT_LE(bins.size(), 10u);  // 4 clusters, each touching <= 2-3 bins
+}
+
+TEST(SequentialRunGeneratorTest, RunsHaveRequestedLength) {
+  SequentialRunGenerator g(kTotal, 960, 13);
+  auto batch = g.Batch(100);
+  for (const auto& r : batch) {
+    EXPECT_EQ(r.count, 960);
+    EXPECT_GE(r.segment, 0);
+    EXPECT_LE(r.segment + r.count, kTotal);
+  }
+}
+
+TEST(TraceGeneratorTest, ReplaysAndWraps) {
+  TraceGenerator g({sched::Request{10, 1}, sched::Request{20, 2},
+                    sched::Request{30, 3}});
+  auto batch = g.Batch(7);
+  ASSERT_EQ(batch.size(), 7u);
+  EXPECT_EQ(batch[0].segment, 10);
+  EXPECT_EQ(batch[3].segment, 10);
+  EXPECT_EQ(batch[6].segment, 10);
+  EXPECT_EQ(batch[4].count, 2);
+}
+
+}  // namespace
+}  // namespace serpentine::workload

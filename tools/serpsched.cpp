@@ -1,0 +1,237 @@
+// serpsched: command-line serpentine tape schedule planner.
+//
+//   serpsched [options] [segment ...]
+//
+// Reads a batch of segment numbers (arguments, --stdin, or --random=N),
+// schedules it with the chosen algorithm against a simulated cartridge,
+// and prints the service order with per-step locate estimates plus a
+// comparison against FIFO service.
+//
+// Options:
+//   --algorithm=NAME   read|fifo|sort|opt|sltf|scan|weave|loss|sparse-loss
+//                      (default loss)
+//   --drive=NAME       dlt4000|dlt7000|ibm3590 (default dlt4000)
+//   --tape-seed=N      cartridge identity (default 1)
+//   --initial=SEG      starting head position (default 0 = BOT)
+//   --random=N         generate N uniform random requests (--seed=N)
+//   --stdin            read one segment number per line from stdin
+//   --trace=FILE       load requests from a trace file (see
+//                      workload/trace_io.h for the format)
+//   --improve          apply Or-opt local search to the schedule
+//   --rewind           charge a rewind after the last read
+//   --explain          show each locate's model case and scan/read split
+//   --quiet            print only the summary
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serpentine/sched/estimator.h"
+#include "serpentine/sched/local_search.h"
+#include "serpentine/sched/scheduler.h"
+#include "serpentine/tape/locate_model.h"
+#include "serpentine/util/lrand48.h"
+#include "serpentine/workload/trace_io.h"
+
+using namespace serpentine;
+
+namespace {
+
+struct Args {
+  std::string algorithm = "loss";
+  std::string drive = "dlt4000";
+  int32_t tape_seed = 1;
+  int32_t seed = 1;
+  tape::SegmentId initial = 0;
+  int64_t random_n = 0;
+  bool from_stdin = false;
+  bool improve = false;
+  bool rewind = false;
+  bool quiet = false;
+  bool explain = false;
+  std::string trace_path;
+  std::vector<tape::SegmentId> segments;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--algorithm=A] [--drive=D] [--tape-seed=N] "
+               "[--initial=SEG] [--random=N] [--seed=N] [--stdin] "
+               "[--trace=FILE] [--improve] [--rewind] [--explain] "
+               "[--quiet] [segment ...]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  if (arg[len] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  return false;
+}
+
+StatusOr<sched::Algorithm> AlgorithmByName(const std::string& name) {
+  for (sched::Algorithm a : sched::kAllAlgorithms) {
+    if (name == sched::AlgorithmName(a)) return a;
+  }
+  return InvalidArgumentError("unknown algorithm: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--algorithm", &v) && v) {
+      args.algorithm = v;
+    } else if (ParseFlag(argv[i], "--drive", &v) && v) {
+      args.drive = v;
+    } else if (ParseFlag(argv[i], "--tape-seed", &v) && v) {
+      args.tape_seed = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--seed", &v) && v) {
+      args.seed = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--initial", &v) && v) {
+      args.initial = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--random", &v) && v) {
+      args.random_n = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--stdin", &v) && !v) {
+      args.from_stdin = true;
+    } else if (ParseFlag(argv[i], "--trace", &v) && v) {
+      args.trace_path = v;
+    } else if (ParseFlag(argv[i], "--explain", &v) && !v) {
+      args.explain = true;
+    } else if (ParseFlag(argv[i], "--improve", &v) && !v) {
+      args.improve = true;
+    } else if (ParseFlag(argv[i], "--rewind", &v) && !v) {
+      args.rewind = true;
+    } else if (ParseFlag(argv[i], "--quiet", &v) && !v) {
+      args.quiet = true;
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      args.segments.push_back(std::atoll(argv[i]));
+    }
+  }
+
+  tape::TapeParams params;
+  tape::DriveTimings timings;
+  if (args.drive == "dlt4000") {
+    params = tape::Dlt4000TapeParams();
+    timings = tape::Dlt4000Timings();
+  } else if (args.drive == "dlt7000") {
+    params = tape::Dlt7000TapeParams();
+    timings = tape::Dlt7000Timings();
+  } else if (args.drive == "ibm3590") {
+    params = tape::Ibm3590TapeParams();
+    timings = tape::Ibm3590Timings();
+  } else {
+    std::fprintf(stderr, "unknown drive: %s\n", args.drive.c_str());
+    return 2;
+  }
+
+  auto algorithm = AlgorithmByName(args.algorithm);
+  if (!algorithm.ok()) {
+    std::fprintf(stderr, "%s\n", algorithm.status().ToString().c_str());
+    return 2;
+  }
+
+  tape::Dlt4000LocateModel model(
+      tape::TapeGeometry::Generate(params, args.tape_seed), timings);
+  const tape::TapeGeometry& g = model.geometry();
+
+  if (args.from_stdin) {
+    char line[64];
+    while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+      if (line[0] == '\n' || line[0] == '#') continue;
+      args.segments.push_back(std::atoll(line));
+    }
+  }
+  if (args.random_n > 0) {
+    Lrand48 rng(args.seed);
+    for (int64_t i = 0; i < args.random_n; ++i) {
+      args.segments.push_back(rng.NextBounded(g.total_segments()));
+    }
+  }
+
+  std::vector<sched::Request> requests;
+  requests.reserve(args.segments.size());
+  for (tape::SegmentId s : args.segments)
+    requests.push_back(sched::Request{s, 1});
+  if (!args.trace_path.empty()) {
+    auto trace = workload::LoadTrace(args.trace_path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
+      return 1;
+    }
+    requests.insert(requests.end(), trace->begin(), trace->end());
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "no requests (pass segments, --stdin, --trace, or "
+                         "--random=N)\n");
+    return Usage(argv[0]);
+  }
+
+  auto schedule =
+      sched::BuildSchedule(model, args.initial, requests, *algorithm);
+  if (!schedule.ok()) {
+    std::fprintf(stderr, "scheduling failed: %s\n",
+                 schedule.status().ToString().c_str());
+    return 1;
+  }
+  if (args.improve) sched::ImproveSchedule(model, &schedule.value());
+
+  sched::EstimateOptions estimate_options;
+  estimate_options.rewind_at_end = args.rewind;
+
+  if (!args.quiet && !schedule->full_tape_scan) {
+    if (args.explain) {
+      std::printf("# step  segment  track/sec  locate_s  case                "
+                  "scan_s  read_s\n");
+    } else {
+      std::printf("# step  segment  track/sec  locate_s\n");
+    }
+    tape::SegmentId pos = args.initial;
+    int step = 0;
+    for (const sched::Request& r : schedule->order) {
+      tape::Coord c = g.ToCoord(r.segment);
+      if (args.explain) {
+        auto b = model.ExplainLocate(pos, r.segment);
+        std::printf("%6d %8lld %6d/%-3d %9.2f  %-19s %6.1f %7.1f\n", ++step,
+                    static_cast<long long>(r.segment), c.track,
+                    c.physical_section, b.total_seconds,
+                    tape::LocateCaseName(b.locate_case), b.scan_seconds,
+                    b.read_seconds);
+      } else {
+        std::printf("%6d %8lld %6d/%-3d %9.2f\n", ++step,
+                    static_cast<long long>(r.segment), c.track,
+                    c.physical_section, model.LocateSeconds(pos, r.segment));
+      }
+      pos = sched::OutPosition(g, r);
+    }
+  }
+
+  double scheduled =
+      sched::EstimateScheduleSeconds(model, *schedule, estimate_options);
+  auto fifo =
+      sched::BuildSchedule(model, args.initial, requests,
+                           sched::Algorithm::kFifo);
+  double fifo_s =
+      sched::EstimateScheduleSeconds(model, *fifo, estimate_options);
+  std::printf("# %zu requests on %s (tape seed %d), algorithm %s%s\n",
+              requests.size(), args.drive.c_str(), args.tape_seed,
+              args.algorithm.c_str(), args.improve ? "+or-opt" : "");
+  std::printf("# estimated execution: %.1f s (%.2f h), %.1f s per request\n",
+              scheduled, scheduled / 3600.0, scheduled / requests.size());
+  std::printf("# fifo baseline:       %.1f s, speedup %.2fx\n", fifo_s,
+              fifo_s / scheduled);
+  return 0;
+}
