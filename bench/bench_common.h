@@ -2,7 +2,9 @@
 #ifndef SERPENTINE_BENCH_BENCH_COMMON_H_
 #define SERPENTINE_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,67 @@
 #include "serpentine/util/table.h"
 
 namespace serpentine::bench {
+
+/// Short name of the active trial scale, for banners and timing records.
+inline const char* ScaleName() {
+  switch (GetBenchScale()) {
+    case BenchScale::kFull:
+      return "full";
+    case BenchScale::kSmoke:
+      return "smoke";
+    case BenchScale::kDefault:
+      break;
+  }
+  return "default";
+}
+
+/// Appends machine-readable timing records, one JSON object per line, to
+/// the file named by SERPENTINE_BENCH_JSON; a no-op when the variable is
+/// unset. Each record carries the figure, the point's label/N/trials, the
+/// wall-clock seconds, and the thread count and scale it ran under, so
+/// runs at different thread counts can be diffed point by point (the
+/// simulated statistics must match bit for bit; only wall_seconds moves).
+class TimingRecorder {
+ public:
+  explicit TimingRecorder(const char* figure)
+      : figure_(figure), start_(std::chrono::steady_clock::now()) {
+    const char* path = std::getenv("SERPENTINE_BENCH_JSON");
+    if (path != nullptr && path[0] != '\0') out_ = std::fopen(path, "a");
+  }
+
+  ~TimingRecorder() {
+    if (out_ == nullptr) return;
+    Write("_total", 0, 0,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count());
+    std::fclose(out_);
+  }
+
+  TimingRecorder(const TimingRecorder&) = delete;
+  TimingRecorder& operator=(const TimingRecorder&) = delete;
+
+  /// Records one point's wall-clock time.
+  void Record(const char* label, int n, int64_t trials,
+              double wall_seconds) {
+    if (out_ != nullptr) Write(label, n, trials, wall_seconds);
+  }
+
+ private:
+  void Write(const char* label, int n, int64_t trials,
+             double wall_seconds) {
+    std::fprintf(out_,
+                 "{\"figure\":\"%s\",\"label\":\"%s\",\"n\":%d,"
+                 "\"trials\":%lld,\"wall_seconds\":%.6f,\"threads\":%d,"
+                 "\"scale\":\"%s\"}\n",
+                 figure_, label, n, static_cast<long long>(trials),
+                 wall_seconds, ResolveThreadCount(0), ScaleName());
+  }
+
+  const char* figure_;
+  std::FILE* out_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// The tape the experiments run on ("tape A"): DLT4000 geometry, seed 1.
 inline tape::Dlt4000LocateModel MakeTapeAModel() {
@@ -28,22 +91,16 @@ inline tape::Dlt4000LocateModel MakeTapeBModel() {
       tape::Dlt4000Timings());
 }
 
-/// Prints the figure banner and the active trial scale.
+/// Prints the figure banner, the active trial scale, and the thread count.
 inline void PrintHeader(const char* figure, const char* description) {
-  const char* scale = "default";
-  switch (GetBenchScale()) {
-    case BenchScale::kFull:
-      scale = "full (paper trial counts)";
-      break;
-    case BenchScale::kSmoke:
-      scale = "smoke";
-      break;
-    case BenchScale::kDefault:
-      break;
+  const char* scale = ScaleName();
+  if (GetBenchScale() == BenchScale::kFull) {
+    scale = "full (paper trial counts)";
   }
   std::printf("== %s ==\n%s\n(trial scale: %s; set SERPENTINE_SCALE=full "
-              "for paper counts)\n\n",
-              figure, description, scale);
+              "for paper counts; %d worker threads, set SERPENTINE_THREADS "
+              "to change)\n\n",
+              figure, description, scale, ResolveThreadCount(0));
 }
 
 /// Trials for one point of a figure, scaled from the paper's counts.
@@ -54,9 +111,11 @@ inline int64_t TrialsFor(int n) {
 /// Runs one figure-4/5-style sweep: mean seconds per locate for each
 /// algorithm at each schedule length. OPT is included only up to the
 /// paper's 12-request ceiling; READ appears as the constant full-pass
-/// bound.
-inline void RunPerLocateFigure(bool start_at_bot, int32_t seed) {
+/// bound. Per-point wall-clock times go to SERPENTINE_BENCH_JSON.
+inline void RunPerLocateFigure(const char* figure, bool start_at_bot,
+                               int32_t seed) {
   tape::Dlt4000LocateModel model = MakeTapeAModel();
+  TimingRecorder recorder(figure);
 
   struct Entry {
     sched::Algorithm algorithm;
@@ -96,8 +155,14 @@ inline void RunPerLocateFigure(bool start_at_bot, int32_t seed) {
           e.algorithm == sched::Algorithm::kOpt
               ? ScaledTrials(sim::PaperTrialsOpt(n))
               : trials;
+      auto begin = std::chrono::steady_clock::now();
       sim::PointStats p = sim::SimulatePoint(
           model, model, e.algorithm, n, point_trials, start_at_bot, seed);
+      recorder.Record(
+          e.label, n, point_trials,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        begin)
+              .count());
       mean_row.push_back(Table::Num(p.mean_seconds_per_locate, 2));
       std_row.push_back(Table::Num(p.std_total_seconds / n, 2));
     }

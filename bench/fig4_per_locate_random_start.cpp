@@ -10,6 +10,7 @@ int main() {
       "FIFO flat (~82 s with this calibration; paper measured ~72-75 s); "
       "all schedulers improve with N; LOSS lowest; SORT poor at small N; "
       "READ = 14284/N crossing LOSS near N=1536.");
-  serpentine::bench::RunPerLocateFigure(/*start_at_bot=*/false, /*seed=*/1);
+  serpentine::bench::RunPerLocateFigure("fig4", /*start_at_bot=*/false,
+                                        /*seed=*/1);
   return 0;
 }

@@ -10,6 +10,7 @@ int main() {
       "Same shape as Figure 4 but the one-locate point is dearer "
       "(E[BOT->random] vs E[random->random]: paper 96.5 vs 72.4 s; this "
       "calibration ~104 vs ~82 s).");
-  serpentine::bench::RunPerLocateFigure(/*start_at_bot=*/true, /*seed=*/1);
+  serpentine::bench::RunPerLocateFigure("fig5", /*start_at_bot=*/true,
+                                        /*seed=*/1);
   return 0;
 }

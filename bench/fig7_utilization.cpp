@@ -21,6 +21,7 @@ int main() {
       "schedules, start at BOT)");
 
   tape::Dlt4000LocateModel model = bench::MakeTapeAModel();
+  bench::TimingRecorder recorder("fig7");
   const double bandwidth_mbs = model.timings().megabytes_per_second;
   const std::vector<double> targets = {0.25, 0.33, 0.50, 0.75, 0.90};
 
@@ -31,9 +32,15 @@ int main() {
     // excluded (they are what we are solving for).
     sched::SchedulerOptions options;
     int64_t trials = std::max<int64_t>(4, bench::TrialsFor(n) / 4);
+    auto begin = std::chrono::steady_clock::now();
     sim::PointStats p =
         sim::SimulatePoint(model, model, sched::Algorithm::kLoss, n, trials,
                            /*start_at_bot=*/true, 7, options);
+    recorder.Record(
+        "LOSS", n, trials,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begin)
+            .count());
     // p includes ~21 ms of read per 32 KB request; negligible against the
     // positioning seconds.
     double locate = p.mean_seconds_per_locate;

@@ -24,8 +24,17 @@ int main() {
                      "starting position)");
 
   tape::Dlt4000LocateModel model = bench::MakeTapeAModel();
+  bench::TimingRecorder recorder("table_summary");
   auto run = [&](sched::Algorithm a, int n, int64_t trials) {
-    return sim::SimulatePoint(model, model, a, n, trials, false, 3);
+    auto begin = std::chrono::steady_clock::now();
+    sim::PointStats p = sim::SimulatePoint(model, model, a, n, trials,
+                                           false, 3);
+    recorder.Record(
+        sched::AlgorithmName(a), n, trials,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begin)
+            .count());
+    return p;
   };
 
   Table table;

@@ -4,13 +4,17 @@
 #include <vector>
 
 #include "serpentine/sched/estimator.h"
+#include "serpentine/tape/locate_cache.h"
 #include "serpentine/util/check.h"
 
 namespace serpentine::sched {
 namespace {
 
 /// Flat view of the path: node 0 is the start position, nodes 1..n are the
-/// requests in service order.
+/// requests in service order. Every edge evaluation goes through the
+/// per-batch locate cache: the Or-opt sweeps revisit the same (from, to)
+/// pairs on every pass and block size, so each distinct pair must be
+/// planned at most once per ImproveSchedule call.
 class PathView {
  public:
   PathView(const tape::LocateModel& model, const Schedule& schedule)
@@ -43,7 +47,11 @@ LocalSearchStats ImproveSchedule(const tape::LocateModel& model,
   int n = static_cast<int>(schedule->order.size());
   if (n < 2) return stats;
 
-  PathView path(model, *schedule);
+  // One cache per batch: a sweep touches O(n² · max_block) edges but only
+  // O(n²) distinct pairs, and later passes touch almost no new ones. The
+  // table starts small and doubles on demand.
+  tape::CachedLocateModel cached(model, static_cast<int64_t>(n) * 64);
+  PathView path(cached, *schedule);
   std::vector<Request>& order = schedule->order;
 
   for (int pass = 0; pass < options.max_passes; ++pass) {

@@ -9,6 +9,7 @@
 #include "serpentine/sched/coalesce.h"
 #include "serpentine/sched/internal.h"
 #include "serpentine/sched/weave_pattern.h"
+#include "serpentine/tape/locate_cache.h"
 #include "serpentine/tsp/cost_matrix.h"
 #include "serpentine/tsp/loss.h"
 #include "serpentine/tsp/sparse_loss.h"
@@ -59,6 +60,8 @@ std::vector<Request> ScheduleLoss(const tape::LocateModel& model,
       CoalesceRequests(std::move(requests), coalesce_threshold);
   int cities = static_cast<int>(groups.size()) + 1;
   CityMap map;
+  // The dense matrix IS the batch's edge-cost cache: Build prices every
+  // ordered pair exactly once, and the solver only ever reads the matrix.
   tsp::CostMatrix m = tsp::CostMatrix::Build(cities, [&](int i, int j) {
     return model.LocateSeconds(map.Out(g, groups, initial, i),
                                map.In(groups, initial, j));
@@ -78,6 +81,9 @@ std::vector<Request> ScheduleSparseLoss(const tape::LocateModel& model,
       CoalesceRequests(std::move(requests), coalesce_threshold);
   int cities = static_cast<int>(groups.size()) + 1;
   CityMap map;
+  // Candidate-edge gathering and the contraction phase price overlapping
+  // (from, to) pairs; the per-batch cache plans each pair once.
+  tape::CachedLocateModel cached(model, static_cast<int64_t>(cities) * 16);
 
   if (edges_per_city <= 0) {
     edges_per_city = std::max(
@@ -120,7 +126,7 @@ std::vector<Request> ScheduleSparseLoss(const tape::LocateModel& model,
           if (target == city) continue;
           edges.push_back(tsp::SparseEdge{
               target,
-              model.LocateSeconds(from, map.In(groups, initial, target))});
+              cached.LocateSeconds(from, map.In(groups, initial, target))});
           if (static_cast<int>(edges.size()) >= edges_per_city) break;
         }
         if (static_cast<int>(edges.size()) >= edges_per_city) break;
@@ -131,8 +137,8 @@ std::vector<Request> ScheduleSparseLoss(const tape::LocateModel& model,
 
   std::vector<int> order = tsp::SolveSparseLossPath(
       cities, out_edges, [&](int i, int j) {
-        return model.LocateSeconds(map.Out(g, groups, initial, i),
-                                   map.In(groups, initial, j));
+        return cached.LocateSeconds(map.Out(g, groups, initial, i),
+                                    map.In(groups, initial, j));
       });
   return ExpandOrder(groups, order);
 }

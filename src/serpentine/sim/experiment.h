@@ -32,6 +32,18 @@ int64_t PaperTrialsOpt(int n);
 std::vector<sched::Request> GenerateUniformRequests(
     serpentine::Lrand48& rng, int n, tape::SegmentId total_segments);
 
+/// Worker-thread budget for the trial loops. Thread count never changes
+/// the reported statistics: trials draw from per-trial RNG streams
+/// (DeriveRand48State) and fold into per-shard accumulators that are
+/// merged in a fixed order, so 1 and N threads are bit-identical (see
+/// docs/performance.md).
+struct ParallelOptions {
+  /// Worker threads; 0 means SERPENTINE_THREADS or all hardware threads
+  /// (util::ResolveThreadCount). Models that report
+  /// !SupportsConcurrentUse() force the serial path regardless.
+  int threads = 0;
+};
+
 /// Aggregate statistics for one (algorithm, schedule length) point.
 struct PointStats {
   int n = 0;
@@ -56,7 +68,8 @@ PointStats SimulatePoint(const tape::LocateModel& scheduling_model,
                          const tape::LocateModel& execution_model,
                          sched::Algorithm algorithm, int n, int64_t trials,
                          bool start_at_bot, int32_t seed,
-                         const sched::SchedulerOptions& options = {});
+                         const sched::SchedulerOptions& options = {},
+                         const ParallelOptions& parallel = {});
 
 /// The paper's first scenario, simulated literally: "a tape is scheduled
 /// repeatedly, executing retrievals in batches. ... at the beginning of
@@ -68,7 +81,8 @@ PointStats SimulatePoint(const tape::LocateModel& scheduling_model,
 PointStats SimulateChainedBatches(const tape::LocateModel& model,
                                   sched::Algorithm algorithm, int n,
                                   int64_t batches, int32_t seed,
-                                  const sched::SchedulerOptions& options = {});
+                                  const sched::SchedulerOptions& options = {},
+                                  const ParallelOptions& parallel = {});
 
 }  // namespace serpentine::sim
 

@@ -38,6 +38,10 @@ class PerturbedLocateModel : public tape::LocateModel {
     return base_->geometry();
   }
 
+  bool SupportsConcurrentUse() const override {
+    return base_->SupportsConcurrentUse();
+  }
+
   double error_seconds() const { return error_; }
 
  private:

@@ -51,6 +51,9 @@ class PhysicalDrive : public tape::LocateModel {
   double RewindSeconds(tape::SegmentId from) const override;
   const tape::TapeGeometry& geometry() const override;
 
+  /// Each LocateSeconds call advances the shared noise stream.
+  bool SupportsConcurrentUse() const override { return false; }
+
   /// Resets the noise stream, making measurement runs reproducible.
   void ResetNoise(int32_t seed) const;
 

@@ -7,7 +7,9 @@
 
 #include "serpentine/sched/estimator.h"
 #include "serpentine/util/check.h"
+#include "serpentine/util/env.h"
 #include "serpentine/util/lrand48.h"
+#include "serpentine/util/thread_pool.h"
 
 namespace serpentine::sim {
 namespace {
@@ -152,6 +154,40 @@ QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
   result.throughput_per_hour =
       result.completed / (result.makespan_seconds / 3600.0);
   return result;
+}
+
+ReplicatedQueueSimStats RunReplicatedQueueSimulation(
+    const tape::LocateModel& model, const QueueSimConfig& config,
+    int replications, int threads) {
+  SERPENTINE_CHECK_GT(replications, 0);
+  ReplicatedQueueSimStats stats;
+  stats.results.resize(replications);
+
+  // Replication r's seed comes from the derived stream r regardless of
+  // which worker runs it; each replication writes only its own slot.
+  auto run = [&](int64_t r) {
+    QueueSimConfig replica = config;
+    replica.seed = static_cast<int32_t>(DeriveRand48State(config.seed, r) &
+                                        0x7FFFFFFF);
+    stats.results[r] = RunQueueSimulation(model, replica);
+  };
+  int workers =
+      model.SupportsConcurrentUse() ? ResolveThreadCount(threads) : 1;
+  if (workers > 1 && replications > 1) {
+    ParallelFor(&ThreadPool::Shared(), replications, workers, run);
+  } else {
+    for (int64_t r = 0; r < replications; ++r) run(r);
+  }
+
+  // Fold in replication order: the summary statistics never depend on the
+  // order in which workers finished.
+  for (const QueueSimResult& r : stats.results) {
+    stats.mean_response_seconds.Add(r.mean_response_seconds);
+    stats.p95_response_seconds.Add(r.p95_response_seconds);
+    stats.utilization.Add(r.utilization);
+    stats.throughput_per_hour.Add(r.throughput_per_hour);
+  }
+  return stats;
 }
 
 }  // namespace serpentine::sim

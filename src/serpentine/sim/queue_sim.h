@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "serpentine/sched/scheduler.h"
 #include "serpentine/tape/locate_model.h"
+#include "serpentine/util/stats.h"
 
 namespace serpentine::sim {
 
@@ -50,6 +52,25 @@ struct QueueSimResult {
 /// Runs the simulation to completion (all arrivals served).
 QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
                                   const QueueSimConfig& config);
+
+/// Independent replications of one configuration, for confidence bands.
+struct ReplicatedQueueSimStats {
+  /// Per-replication results, indexed by replication number.
+  std::vector<QueueSimResult> results;
+  Accumulator mean_response_seconds;
+  Accumulator p95_response_seconds;
+  Accumulator utilization;
+  Accumulator throughput_per_hour;
+};
+
+/// Runs `replications` independent copies of the simulation, replication r
+/// seeded from the stream DeriveRand48State(config.seed, r). Replications
+/// fan out over up to `threads` workers (0 = SERPENTINE_THREADS or all
+/// hardware threads), and the accumulators are folded in replication
+/// order, so the statistics are bit-identical for any thread count.
+ReplicatedQueueSimStats RunReplicatedQueueSimulation(
+    const tape::LocateModel& model, const QueueSimConfig& config,
+    int replications, int threads = 0);
 
 }  // namespace serpentine::sim
 

@@ -1,0 +1,61 @@
+#include "serpentine/tape/locate_cache.h"
+
+#include <bit>
+
+#include "serpentine/util/check.h"
+
+namespace serpentine::tape {
+namespace {
+
+uint64_t PairKey(SegmentId src, SegmentId dst) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+         static_cast<uint32_t>(dst);
+}
+
+uint64_t Mix(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+CachedLocateModel::CachedLocateModel(const LocateModel& base,
+                                     int64_t expected_pairs)
+    : base_(base) {
+  // Size for a ≤50% load factor at the expected pair count.
+  uint64_t capacity = std::bit_ceil(
+      static_cast<uint64_t>(expected_pairs < 16 ? 16 : expected_pairs) * 2);
+  slots_.assign(capacity, Slot{kEmptyKey, 0.0});
+}
+
+void CachedLocateModel::Grow() const {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{kEmptyKey, 0.0});
+  uint64_t mask = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.key == kEmptyKey) continue;
+    uint64_t i = Mix(s.key) & mask;
+    while (slots_[i].key != kEmptyKey) i = (i + 1) & mask;
+    slots_[i] = s;
+  }
+}
+
+double CachedLocateModel::LocateSeconds(SegmentId src, SegmentId dst) const {
+  ++lookups_;
+  uint64_t key = PairKey(src, dst);
+  uint64_t mask = slots_.size() - 1;
+  uint64_t i = Mix(key) & mask;
+  while (slots_[i].key != kEmptyKey) {
+    if (slots_[i].key == key) return slots_[i].seconds;
+    i = (i + 1) & mask;
+  }
+  double seconds = base_.LocateSeconds(src, dst);
+  ++plans_;
+  slots_[i] = Slot{key, seconds};
+  if (++entries_ * 2 > static_cast<int64_t>(slots_.size())) Grow();
+  return seconds;
+}
+
+}  // namespace serpentine::tape

@@ -1,0 +1,67 @@
+// Per-batch locate-cost cache. Scheduling one batch evaluates the same
+// (from, to) locate pairs many times — the LOSS cost matrix, Or-opt local
+// search (every pass and block size revisits the same edges), and the final
+// schedule estimate all ask for overlapping pairs. Wrapping the model in a
+// CachedLocateModel for the lifetime of one batch plans each distinct pair
+// exactly once and serves every repeat from an open-addressing table.
+#ifndef SERPENTINE_TAPE_LOCATE_CACHE_H_
+#define SERPENTINE_TAPE_LOCATE_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "serpentine/tape/locate_model.h"
+
+namespace serpentine::tape {
+
+/// Memoizing decorator over any LocateModel. Create one per batch (it is
+/// cheap) and hand it to every stage that prices edges of that batch:
+/// BuildSchedule, ImproveSchedule, EstimateScheduleSeconds.
+///
+/// Not safe for concurrent use (the table mutates under const calls);
+/// SupportsConcurrentUse() reports false so the parallel experiment
+/// harness falls back to serial execution rather than racing.
+class CachedLocateModel : public LocateModel {
+ public:
+  /// `base` must outlive the cache. `expected_pairs` presizes the table.
+  explicit CachedLocateModel(const LocateModel& base,
+                             int64_t expected_pairs = 64);
+
+  double LocateSeconds(SegmentId src, SegmentId dst) const override;
+  double ReadSeconds(SegmentId from, SegmentId to) const override {
+    return base_.ReadSeconds(from, to);
+  }
+  double RewindSeconds(SegmentId from) const override {
+    return base_.RewindSeconds(from);
+  }
+  const TapeGeometry& geometry() const override { return base_.geometry(); }
+  bool SupportsConcurrentUse() const override { return false; }
+
+  const LocateModel& base() const { return base_; }
+
+  /// Total LocateSeconds queries answered.
+  int64_t lookups() const { return lookups_; }
+  /// Queries that reached the base model — one per distinct (src, dst).
+  int64_t plans() const { return plans_; }
+
+ private:
+  struct Slot {
+    uint64_t key;
+    double seconds;
+  };
+  static constexpr uint64_t kEmptyKey = ~uint64_t{0};
+
+  void Grow() const;
+
+  const LocateModel& base_;
+  // Open-addressing table with linear probing; keys pack (src, dst) into
+  // one word. A power-of-two size keeps the probe mask branch-free.
+  mutable std::vector<Slot> slots_;
+  mutable int64_t entries_ = 0;
+  mutable int64_t lookups_ = 0;
+  mutable int64_t plans_ = 0;
+};
+
+}  // namespace serpentine::tape
+
+#endif  // SERPENTINE_TAPE_LOCATE_CACHE_H_

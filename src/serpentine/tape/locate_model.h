@@ -77,6 +77,12 @@ class LocateModel {
   /// The geometry this model *believes* (which, in the wrong-key-points
   /// experiments, differs from the tape actually mounted).
   virtual const TapeGeometry& geometry() const = 0;
+
+  /// True when const queries are safe from multiple threads at once. Models
+  /// with hidden mutable state (PhysicalDrive's noise stream, a per-batch
+  /// CachedLocateModel) return false; the parallel experiment harness then
+  /// runs its trial loop serially instead of racing.
+  virtual bool SupportsConcurrentUse() const { return true; }
 };
 
 /// The serpentine locate-time model of the paper, parameterized by a tape's

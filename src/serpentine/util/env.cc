@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace serpentine {
 
@@ -12,6 +13,17 @@ BenchScale GetBenchScale() {
   if (std::strcmp(v, "full") == 0) return BenchScale::kFull;
   if (std::strcmp(v, "smoke") == 0) return BenchScale::kSmoke;
   return BenchScale::kDefault;
+}
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  const char* v = std::getenv("SERPENTINE_THREADS");
+  if (v != nullptr) {
+    int n = std::atoi(v);
+    if (n > 0) return n;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
 int64_t ScaledTrials(int64_t paper_trials, int64_t default_divisor,

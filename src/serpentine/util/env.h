@@ -16,6 +16,12 @@ enum class BenchScale {
 /// Reads SERPENTINE_SCALE from the environment (see BenchScale).
 BenchScale GetBenchScale();
 
+/// Worker-thread count for parallel trial loops: `requested` when positive,
+/// else SERPENTINE_THREADS when set to a positive integer, else all
+/// hardware threads. Always at least 1. Thread count never changes
+/// simulation results — only wall-clock time (see docs/performance.md).
+int ResolveThreadCount(int requested);
+
 /// Scales a paper trial count to the active BenchScale: full keeps it,
 /// default divides by `default_divisor`, smoke divides by `smoke_divisor`;
 /// the result is at least `min_trials`.

@@ -1,0 +1,111 @@
+#include "serpentine/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
+#include "serpentine/util/env.h"
+
+namespace serpentine {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Drain the queue even during shutdown so every scheduled task (and
+      // the ParallelFor completion counts behind them) runs exactly once.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked intentionally: worker threads may still be parked in the pool
+  // at static destruction time.
+  static ThreadPool* pool = new ThreadPool(ResolveThreadCount(0));
+  return *pool;
+}
+
+void ParallelFor(ThreadPool* pool, int64_t shards, int max_workers,
+                 const std::function<void(int64_t)>& fn) {
+  if (shards <= 0) return;
+  int workers = pool == nullptr
+                    ? 1
+                    : static_cast<int>(std::min<int64_t>(
+                          shards, std::min(max_workers, pool->size())));
+  if (workers <= 1) {
+    for (int64_t i = 0; i < shards; ++i) fn(i);
+    return;
+  }
+
+  struct State {
+    std::atomic<int64_t> next{0};
+    std::mutex mu;
+    std::condition_variable done;
+    int active = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  state->active = workers;
+
+  auto body = [state, shards, &fn] {
+    try {
+      for (;;) {
+        int64_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= shards) break;
+        fn(i);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->error) state->error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      --state->active;
+    }
+    state->done.notify_one();
+  };
+
+  // The calling thread is one of the workers, so a pool of k threads plus
+  // the caller still executes with `workers` concurrency at most and the
+  // call degrades gracefully if pool threads are busy elsewhere.
+  for (int w = 1; w < workers; ++w) pool->Schedule(body);
+  body();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] { return state->active == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace serpentine

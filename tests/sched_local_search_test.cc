@@ -1,6 +1,8 @@
 #include "serpentine/sched/local_search.h"
 
+#include <map>
 #include <numeric>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -10,6 +12,39 @@
 
 namespace serpentine::sched {
 namespace {
+
+/// Counts LocateSeconds calls per (src, dst) pair, to prove the per-batch
+/// cache inside ImproveSchedule plans each distinct pair at most once no
+/// matter how many passes and block sizes revisit it.
+class CountingLocateModel : public tape::LocateModel {
+ public:
+  explicit CountingLocateModel(const tape::LocateModel& base)
+      : base_(base) {}
+
+  double LocateSeconds(tape::SegmentId src,
+                       tape::SegmentId dst) const override {
+    ++calls_[{src, dst}];
+    return base_.LocateSeconds(src, dst);
+  }
+  double ReadSeconds(tape::SegmentId from, tape::SegmentId to) const override {
+    return base_.ReadSeconds(from, to);
+  }
+  double RewindSeconds(tape::SegmentId from) const override {
+    return base_.RewindSeconds(from);
+  }
+  const tape::TapeGeometry& geometry() const override {
+    return base_.geometry();
+  }
+
+  const std::map<std::pair<tape::SegmentId, tape::SegmentId>, int>& calls()
+      const {
+    return calls_;
+  }
+
+ private:
+  const tape::LocateModel& base_;
+  mutable std::map<std::pair<tape::SegmentId, tape::SegmentId>, int> calls_;
+};
 
 class LocalSearchTest : public ::testing::Test {
  protected:
@@ -108,6 +143,24 @@ TEST_F(LocalSearchTest, NoOpOnDegenerateSchedules) {
   read.full_tape_scan = true;
   read.order = {Request{100, 1}, Request{200, 1}};
   EXPECT_EQ(ImproveSchedule(model_, &read).moves, 0);
+}
+
+TEST_F(LocalSearchTest, PlansEachDistinctPairAtMostOncePerBatch) {
+  Lrand48 rng(17);
+  std::vector<Request> requests = RandomRequests(48, rng);
+  auto s = BuildSchedule(model_, 0, requests, Algorithm::kFifo);
+  ASSERT_TRUE(s.ok());
+  CountingLocateModel counting(model_);
+  LocalSearchStats stats = ImproveSchedule(counting, &s.value());
+  // A FIFO schedule of 48 random requests leaves plenty to improve, so
+  // the sweeps revisit edges across several passes and block sizes...
+  EXPECT_GT(stats.moves, 0);
+  EXPECT_GT(stats.passes, 1);
+  ASSERT_FALSE(counting.calls().empty());
+  // ...yet every distinct (from, to) pair reaches the model exactly once.
+  for (const auto& [pair, count] : counting.calls()) {
+    EXPECT_EQ(count, 1) << pair.first << " -> " << pair.second;
+  }
 }
 
 TEST_F(LocalSearchTest, RespectsPassLimit) {

@@ -1,0 +1,80 @@
+#include "serpentine/tape/locate_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "serpentine/tape/locate_model.h"
+#include "serpentine/util/lrand48.h"
+
+namespace serpentine::tape {
+namespace {
+
+class LocateCacheTest : public ::testing::Test {
+ protected:
+  LocateCacheTest()
+      : model_(TapeGeometry::Generate(Dlt4000TapeParams(), 1),
+               Dlt4000Timings()) {}
+  Dlt4000LocateModel model_;
+};
+
+TEST_F(LocateCacheTest, ValuesMatchTheBaseModel) {
+  CachedLocateModel cached(model_);
+  Lrand48 rng(3);
+  SegmentId total = model_.geometry().total_segments();
+  for (int i = 0; i < 500; ++i) {
+    SegmentId a = rng.NextBounded(total);
+    SegmentId b = rng.NextBounded(total);
+    EXPECT_DOUBLE_EQ(cached.LocateSeconds(a, b), model_.LocateSeconds(a, b))
+        << a << "->" << b;
+  }
+}
+
+TEST_F(LocateCacheTest, RepeatQueriesPlanOnce) {
+  CachedLocateModel cached(model_);
+  for (int rep = 0; rep < 10; ++rep) {
+    cached.LocateSeconds(100, 50000);
+    cached.LocateSeconds(50000, 100);
+  }
+  EXPECT_EQ(cached.lookups(), 20);
+  EXPECT_EQ(cached.plans(), 2);  // one per distinct ordered pair
+}
+
+TEST_F(LocateCacheTest, DirectionMatters) {
+  // (a, b) and (b, a) are distinct cache entries; serpentine locates are
+  // asymmetric.
+  CachedLocateModel cached(model_);
+  cached.LocateSeconds(100, 50000);
+  cached.LocateSeconds(50000, 100);
+  EXPECT_EQ(cached.plans(), 2);
+  EXPECT_NE(cached.LocateSeconds(100, 50000),
+            cached.LocateSeconds(50000, 100));
+}
+
+TEST_F(LocateCacheTest, GrowsPastThePresizedTable) {
+  // Force many grows from a deliberately tiny table; values must survive.
+  CachedLocateModel cached(model_, /*expected_pairs=*/1);
+  Lrand48 rng(7);
+  SegmentId total = model_.geometry().total_segments();
+  std::vector<std::pair<SegmentId, SegmentId>> pairs;
+  for (int i = 0; i < 2000; ++i) {
+    pairs.emplace_back(rng.NextBounded(total), rng.NextBounded(total));
+    cached.LocateSeconds(pairs.back().first, pairs.back().second);
+  }
+  int64_t plans_after_fill = cached.plans();
+  for (const auto& [a, b] : pairs) {
+    EXPECT_DOUBLE_EQ(cached.LocateSeconds(a, b), model_.LocateSeconds(a, b));
+  }
+  EXPECT_EQ(cached.plans(), plans_after_fill);  // all hits on the re-read
+}
+
+TEST_F(LocateCacheTest, DelegatesEverythingButLocate) {
+  CachedLocateModel cached(model_);
+  EXPECT_DOUBLE_EQ(cached.ReadSeconds(10, 500), model_.ReadSeconds(10, 500));
+  EXPECT_DOUBLE_EQ(cached.RewindSeconds(40000),
+                   model_.RewindSeconds(40000));
+  EXPECT_EQ(&cached.geometry(), &model_.geometry());
+  EXPECT_EQ(&cached.base(), &model_);
+  EXPECT_FALSE(cached.SupportsConcurrentUse());
+}
+
+}  // namespace
+}  // namespace serpentine::tape

@@ -9,7 +9,10 @@ namespace {
 
 class EnvTest : public ::testing::Test {
  protected:
-  void TearDown() override { ::unsetenv("SERPENTINE_SCALE"); }
+  void TearDown() override {
+    ::unsetenv("SERPENTINE_SCALE");
+    ::unsetenv("SERPENTINE_THREADS");
+  }
 };
 
 TEST_F(EnvTest, DefaultWhenUnset) {
@@ -46,6 +49,28 @@ TEST_F(EnvTest, CustomDivisors) {
   EXPECT_EQ(ScaledTrials(1000, 10), 100);
   ::setenv("SERPENTINE_SCALE", "smoke", 1);
   EXPECT_EQ(ScaledTrials(100000, 10, 100), 1000);
+}
+
+TEST_F(EnvTest, ThreadCountAtLeastOneWhenUnset) {
+  ::unsetenv("SERPENTINE_THREADS");
+  EXPECT_GE(ResolveThreadCount(0), 1);  // hardware concurrency
+}
+
+TEST_F(EnvTest, ThreadCountReadsEnvironment) {
+  ::setenv("SERPENTINE_THREADS", "3", 1);
+  EXPECT_EQ(ResolveThreadCount(0), 3);
+}
+
+TEST_F(EnvTest, ExplicitRequestOverridesEnvironment) {
+  ::setenv("SERPENTINE_THREADS", "3", 1);
+  EXPECT_EQ(ResolveThreadCount(5), 5);
+}
+
+TEST_F(EnvTest, BogusThreadValuesFallThrough) {
+  ::setenv("SERPENTINE_THREADS", "banana", 1);
+  EXPECT_GE(ResolveThreadCount(0), 1);
+  ::setenv("SERPENTINE_THREADS", "-2", 1);
+  EXPECT_GE(ResolveThreadCount(0), 1);
 }
 
 }  // namespace

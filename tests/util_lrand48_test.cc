@@ -1,6 +1,7 @@
 #include "serpentine/util/lrand48.h"
 
 #include <cstdlib>
+#include <set>
 
 #include <gtest/gtest.h>
 
@@ -79,6 +80,54 @@ TEST(Lrand48Test, NextDoubleInUnitInterval) {
     EXPECT_GE(v, 0.0);
     EXPECT_LT(v, 1.0);
   }
+}
+
+TEST(Lrand48Test, SeedStateRestoresAnExactStream) {
+  Lrand48 a(31);
+  for (int i = 0; i < 17; ++i) a.Next31();
+  uint64_t mid = a.state();
+  int64_t next = a.Next31();
+  Lrand48 b(0);
+  b.SeedState(mid);
+  EXPECT_EQ(b.Next31(), next);
+}
+
+TEST(Lrand48Test, SeedStateMatchesSrand48Convention) {
+  // SeedState with the srand48 layout ((seed << 16) | 0x330E) must be
+  // indistinguishable from Seed.
+  Lrand48 seeded(7);
+  Lrand48 stated(0);
+  stated.SeedState((uint64_t{7} << 16) | 0x330Eu);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(stated.Next31(), seeded.Next31());
+}
+
+TEST(DeriveRand48StateTest, StatesAreDistinctAcrossIndices) {
+  std::set<uint64_t> seen;
+  for (int64_t t = 0; t < 10000; ++t) {
+    uint64_t s = DeriveRand48State(1, t);
+    EXPECT_LT(s, uint64_t{1} << 48);
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 10000u);  // no collisions among trial streams
+}
+
+TEST(DeriveRand48StateTest, StatesDependOnTheBaseSeed) {
+  int differing = 0;
+  for (int64_t t = 0; t < 100; ++t) {
+    if (DeriveRand48State(1, t) != DeriveRand48State(2, t)) ++differing;
+  }
+  EXPECT_EQ(differing, 100);
+}
+
+TEST(DeriveRand48StateTest, DerivedStreamsAreDecorrelated) {
+  // Consecutive indices give unrelated streams, not shifted copies.
+  Lrand48 a(0), b(0);
+  a.SeedState(DeriveRand48State(5, 0));
+  b.SeedState(DeriveRand48State(5, 1));
+  int differing = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.Next31() != b.Next31()) ++differing;
+  EXPECT_GT(differing, 90);
 }
 
 TEST(SeedSequenceTest, ChildrenAreDistinctAndReproducible) {

@@ -52,6 +52,29 @@ TEST(AccumulatorTest, MergeMatchesConcatenation) {
   EXPECT_DOUBLE_EQ(left.max(), whole.max());
 }
 
+TEST(AccumulatorTest, ShardedMergeIsDeterministic) {
+  // The parallel harness's contract: fold the same shard accumulators in
+  // the same order and the result is bit-identical, run after run —
+  // regardless of which threads filled the shards.
+  constexpr int kShards = 7;
+  auto run = [] {
+    Accumulator shards[kShards];
+    for (int i = 0; i < 1000; ++i) {
+      shards[i % kShards].Add(std::sin(i) * 100 + i * 0.01);
+    }
+    Accumulator total;
+    for (const Accumulator& s : shards) total.Merge(s);
+    return total;
+  };
+  Accumulator a = run();
+  Accumulator b = run();
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());      // bitwise, not approximately
+  EXPECT_EQ(a.stddev(), b.stddev());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
 TEST(AccumulatorTest, MergeWithEmpty) {
   Accumulator a, empty;
   a.Add(1.0);

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Runs the timing-sensitive benches with machine-readable output.
+#
+#   tools/run_benches.sh [build-dir] [out-dir]
+#
+# fig6 (google-benchmark scheduling CPU) writes its native JSON via
+# --benchmark_out; the simulation figures (fig7 here; fig4/fig5 and
+# table_summary understand the same variable) append JSONL timing records
+# via SERPENTINE_BENCH_JSON. Rerun with different SERPENTINE_THREADS
+# values and diff the printed tables: they must match bit for bit, only
+# wall_seconds may move (see docs/performance.md).
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-results}"
+
+if [ ! -x "$BUILD_DIR/bench/fig6_scheduling_cpu" ]; then
+  echo "error: $BUILD_DIR/bench/fig6_scheduling_cpu not found;" \
+       "build first (cmake -B $BUILD_DIR && cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+
+echo "== fig6: scheduling CPU (google-benchmark) =="
+"$BUILD_DIR/bench/fig6_scheduling_cpu" \
+  --benchmark_out="$OUT_DIR/BENCH_sched.json" \
+  --benchmark_out_format=json
+
+echo
+echo "== fig7: utilization (simulation timings to JSONL) =="
+SERPENTINE_BENCH_JSON="$OUT_DIR/BENCH_sim.jsonl" \
+  "$BUILD_DIR/bench/fig7_utilization"
+
+echo
+echo "wrote $OUT_DIR/BENCH_sched.json and $OUT_DIR/BENCH_sim.jsonl" \
+     "(threads: ${SERPENTINE_THREADS:-auto}, scale: ${SERPENTINE_SCALE:-default})"

@@ -30,6 +30,7 @@
 #include "serpentine/sched/estimator.h"
 #include "serpentine/sched/local_search.h"
 #include "serpentine/sched/scheduler.h"
+#include "serpentine/tape/locate_cache.h"
 #include "serpentine/tape/locate_model.h"
 #include "serpentine/util/lrand48.h"
 #include "serpentine/workload/trace_io.h"
@@ -180,14 +181,18 @@ int main(int argc, char** argv) {
     return Usage(argv[0]);
   }
 
+  // One locate cache for the whole planning session: scheduling, Or-opt,
+  // and both estimates below share each pair's single plan.
+  tape::CachedLocateModel cached(
+      model, static_cast<int64_t>(requests.size()) * 16);
   auto schedule =
-      sched::BuildSchedule(model, args.initial, requests, *algorithm);
+      sched::BuildSchedule(cached, args.initial, requests, *algorithm);
   if (!schedule.ok()) {
     std::fprintf(stderr, "scheduling failed: %s\n",
                  schedule.status().ToString().c_str());
     return 1;
   }
-  if (args.improve) sched::ImproveSchedule(model, &schedule.value());
+  if (args.improve) sched::ImproveSchedule(cached, &schedule.value());
 
   sched::EstimateOptions estimate_options;
   estimate_options.rewind_at_end = args.rewind;
@@ -220,12 +225,12 @@ int main(int argc, char** argv) {
   }
 
   double scheduled =
-      sched::EstimateScheduleSeconds(model, *schedule, estimate_options);
+      sched::EstimateScheduleSeconds(cached, *schedule, estimate_options);
   auto fifo =
-      sched::BuildSchedule(model, args.initial, requests,
+      sched::BuildSchedule(cached, args.initial, requests,
                            sched::Algorithm::kFifo);
   double fifo_s =
-      sched::EstimateScheduleSeconds(model, *fifo, estimate_options);
+      sched::EstimateScheduleSeconds(cached, *fifo, estimate_options);
   std::printf("# %zu requests on %s (tape seed %d), algorithm %s%s\n",
               requests.size(), args.drive.c_str(), args.tape_seed,
               args.algorithm.c_str(), args.improve ? "+or-opt" : "");
