@@ -8,6 +8,7 @@
 #include "serpentine/util/check.h"
 #include "serpentine/util/env.h"
 #include "serpentine/util/lrand48.h"
+#include "serpentine/util/retry.h"
 #include "serpentine/util/stats.h"
 #include "serpentine/util/status.h"
 #include "serpentine/util/statusor.h"
@@ -36,9 +37,11 @@
 #include "serpentine/sim/case_mix.h"
 #include "serpentine/sim/executor.h"
 #include "serpentine/sim/experiment.h"
+#include "serpentine/sim/fault_injector.h"
 #include "serpentine/sim/perturbed_model.h"
 #include "serpentine/sim/physical_drive.h"
 #include "serpentine/sim/queue_sim.h"
+#include "serpentine/sim/recovering_executor.h"
 #include "serpentine/sim/wear.h"
 
 #include "serpentine/workload/generators.h"

@@ -1,5 +1,8 @@
 #include "serpentine/sim/executor.h"
 
+#include <cmath>
+#include <limits>
+
 #include "serpentine/util/check.h"
 
 namespace serpentine::sim {
@@ -17,6 +20,12 @@ ExecutionResult ExecuteSchedule(const tape::LocateModel& drive,
     r.total_seconds = r.read_seconds + r.rewind_seconds;
     r.segments_read = g.total_segments();
     r.final_position = 0;
+    return r;
+  }
+
+  // An empty batch does nothing: no locates, no rewind, head untouched.
+  if (schedule.order.empty()) {
+    r.final_position = schedule.initial_position;
     return r;
   }
 
@@ -42,7 +51,15 @@ ExecutionResult ExecuteSchedule(const tape::LocateModel& drive,
 }
 
 double PercentError(double estimate, double measurement) {
-  SERPENTINE_CHECK_GT(measurement, 0.0);
+  // Near-zero measurements (empty schedules, degenerate configurations)
+  // must not divide to garbage: two zeros agree perfectly; a real estimate
+  // against a zero measurement is infinitely wrong, signed by the miss.
+  constexpr double kTiny = 1e-12;
+  if (std::abs(measurement) < kTiny) {
+    if (std::abs(estimate) < kTiny) return 0.0;
+    return std::copysign(std::numeric_limits<double>::infinity(),
+                         estimate - measurement);
+  }
   return (estimate - measurement) / measurement * 100.0;
 }
 

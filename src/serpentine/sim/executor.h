@@ -31,13 +31,17 @@ struct ExecutionResult {
 
 /// Runs `schedule` against `drive` (the timing source) and returns the
 /// breakdown. With a PhysicalDrive this is the paper's "measured" execution
-/// time; with the scheduler's own model it equals the estimate.
+/// time; with the scheduler's own model it equals the estimate. An empty
+/// schedule (no requests, not a full-tape scan) executes as a no-op and
+/// returns a zeroed result with final_position == initial_position.
 ExecutionResult ExecuteSchedule(const tape::LocateModel& drive,
                                 const sched::Schedule& schedule,
                                 const sched::EstimateOptions& options = {});
 
 /// Percent error of an estimate against a measurement, as in Fig 8/9:
-/// (estimate - measurement) / measurement × 100.
+/// (estimate - measurement) / measurement × 100. Guarded against
+/// zero/near-zero measurements: returns 0 when both values are ~0, and
+/// ±infinity when only the measurement is.
 double PercentError(double estimate, double measurement);
 
 }  // namespace serpentine::sim

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "serpentine/sched/estimator.h"
+#include "serpentine/sim/recovering_executor.h"
 #include "serpentine/util/check.h"
 #include "serpentine/util/env.h"
 #include "serpentine/util/lrand48.h"
@@ -43,6 +45,14 @@ QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
   QueueSimResult result;
   std::vector<double> responses;
   responses.reserve(config.total_requests);
+
+  // Fault process for this run, decorrelated per (fault seed, arrival
+  // seed) pair so replications draw independent fault streams.
+  std::unique_ptr<FaultInjector> injector;
+  if (config.faults.any()) {
+    injector = std::make_unique<FaultInjector>(config.faults);
+    injector->ReseedState(DeriveRand48State(config.faults.seed, config.seed));
+  }
 
   double clock = 0.0;
   size_t next_arrival = 0;
@@ -104,25 +114,55 @@ QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
     // Execute step by step so each request gets a completion stamp.
     // Requests map back to arrivals by segment (duplicates: any order).
     std::vector<bool> done(members.size(), false);
-    auto complete = [&](tape::SegmentId segment, double at) {
+    auto complete = [&](tape::SegmentId segment, double at, bool ok) {
       for (size_t i = 0; i < members.size(); ++i) {
         if (!done[i] && members[i].segment == segment) {
           done[i] = true;
           responses.push_back(at - members[i].time);
           ++result.completed;
+          if (!ok) ++result.failed;
           return;
         }
       }
       SERPENTINE_CHECK(false);
     };
 
-    if (schedule->full_tape_scan) {
+    if (injector != nullptr) {
+      // Fault path: the recovering executor runs the batch (retries,
+      // resets, mid-batch rescheduling) and stamps completions as it goes.
+      RecoveryOptions recovery;
+      recovery.retry = config.fault_retry;
+      recovery.scheduler_options = config.scheduler_options;
+      RecoveringExecutor executor(model, model, injector.get(), recovery);
+      double base = clock;
+      if (schedule->full_tape_scan) {
+        // The executor's scan starts at BOT; charge the leading locate.
+        double lead = model.LocateSeconds(head, 0);
+        base += lead;
+        clock += lead;
+        result.drive_busy_seconds += lead;
+      }
+      RecoveringExecutionResult res = executor.Execute(
+          *schedule,
+          [&](const sched::Request& req, double at, bool ok) {
+            complete(req.segment, base + at, ok);
+          });
+      clock += res.total_seconds;
+      result.drive_busy_seconds += res.total_seconds;
+      head = res.final_position;
+      result.fault_retries += res.retries;
+      result.drive_resets += res.drive_resets;
+      result.reschedules += res.reschedules;
+      result.permanent_errors += res.permanent_errors;
+      result.recovery_seconds += res.recovery_seconds;
+    } else if (schedule->full_tape_scan) {
       double pass_start = clock + model.LocateSeconds(head, 0);
       double busy = model.LocateSeconds(head, 0) +
                     model.ReadSeconds(0, g.total_segments() - 1) +
                     model.RewindSeconds(g.total_segments() - 1);
       for (const Arrival& a : members) {
-        complete(a.segment, pass_start + model.ReadSeconds(0, a.segment));
+        complete(a.segment, pass_start + model.ReadSeconds(0, a.segment),
+                 /*ok=*/true);
       }
       clock += busy;
       result.drive_busy_seconds += busy;
@@ -133,7 +173,7 @@ QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
                       model.ReadSeconds(r.segment, r.last());
         clock += step;
         result.drive_busy_seconds += step;
-        complete(r.segment, clock);
+        complete(r.segment, clock, /*ok=*/true);
         head = sched::OutPosition(g, r);
       }
     }

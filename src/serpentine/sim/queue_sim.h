@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "serpentine/sched/scheduler.h"
+#include "serpentine/sim/fault_injector.h"
 #include "serpentine/tape/locate_model.h"
+#include "serpentine/util/retry.h"
 #include "serpentine/util/stats.h"
 
 namespace serpentine::sim {
@@ -34,6 +36,14 @@ struct QueueSimConfig {
   double dispatch_max_wait_seconds = std::numeric_limits<double>::infinity();
   /// Seed for arrivals and request positions.
   int32_t seed = 1;
+  /// Drive/media fault process for batch execution. All-zero (the default)
+  /// keeps the exact fault-free execution path; any nonzero rate routes
+  /// batches through the RecoveringExecutor. The fault stream is seeded
+  /// from (faults.seed, seed), so replications decorrelate while staying
+  /// deterministic for any thread count.
+  FaultProfile faults;
+  /// Retry/backoff policy used by the recovering executor under faults.
+  RetryPolicy fault_retry;
 };
 
 struct QueueSimResult {
@@ -47,6 +57,17 @@ struct QueueSimResult {
   double p95_response_seconds = 0.0;
   double max_response_seconds = 0.0;
   double throughput_per_hour = 0.0;  ///< completed / makespan
+
+  /// Fault accounting (all zero when QueueSimConfig::faults is zero).
+  /// `failed` requests completed with an error (unreadable media / retry
+  /// exhaustion); they are included in `completed` — the client always gets
+  /// an answer.
+  int failed = 0;
+  int64_t fault_retries = 0;
+  int64_t drive_resets = 0;
+  int64_t reschedules = 0;
+  int64_t permanent_errors = 0;
+  double recovery_seconds = 0.0;
 };
 
 /// Runs the simulation to completion (all arrivals served).

@@ -1,0 +1,268 @@
+#include "serpentine/sim/recovering_executor.h"
+
+#include <utility>
+
+#include "serpentine/util/check.h"
+
+namespace serpentine::sim {
+namespace {
+
+/// Algorithm used when re-planning the remainder mid-batch. READ makes no
+/// sense for a partial remainder and OPT blows up past the paper's
+/// 12-request ceiling, so both repair with LOSS (the paper's recommended
+/// general-purpose scheduler); everything else re-plans with itself.
+sched::Algorithm RepairAlgorithm(sched::Algorithm original, size_t remaining) {
+  if (original == sched::Algorithm::kRead) return sched::Algorithm::kLoss;
+  if (original == sched::Algorithm::kOpt && remaining > 12) {
+    return sched::Algorithm::kLoss;
+  }
+  return original;
+}
+
+}  // namespace
+
+RecoveringExecutor::RecoveringExecutor(const tape::LocateModel& drive,
+                                       const tape::LocateModel& scheduling_model,
+                                       FaultInjector* injector,
+                                       RecoveryOptions options)
+    : drive_(drive),
+      scheduling_model_(scheduling_model),
+      injector_(injector),
+      options_(std::move(options)) {}
+
+RecoveringExecutionResult RecoveringExecutor::Execute(
+    const sched::Schedule& schedule) const {
+  return Execute(schedule, StepCallback());
+}
+
+RecoveringExecutionResult RecoveringExecutor::ExecuteFullScan(
+    const sched::Schedule& schedule, const StepCallback& on_step) const {
+  const tape::TapeGeometry& g = drive_.geometry();
+  const FaultProfile* profile = injector_ ? &injector_->profile() : nullptr;
+  RecoveringExecutionResult r;
+
+  tape::SegmentId last = g.total_segments() - 1;
+  r.read_seconds = drive_.ReadSeconds(0, last);
+  r.segments_read = g.total_segments();
+
+  // Faults strike the delivery of individual requested spans; the scan
+  // itself (a streaming pass) keeps going. Transient errors cost a re-read
+  // of the span on the fly; permanent errors lose the span.
+  double recovery_before = 0.0;  // recovery accrued before each delivery
+  for (const sched::Request& req : schedule.order) {
+    FaultType fault = injector_ ? injector_->DrawReadFault(req.segment)
+                                : FaultType::kNone;
+    if (fault == FaultType::kTransientReadError) {
+      double wasted = profile->reread_overhead_seconds +
+                      drive_.ReadSeconds(req.segment, req.last());
+      r.recovery_seconds += wasted;
+      recovery_before += wasted;
+      ++r.transient_read_errors;
+      ++r.retries;
+      fault = injector_->DrawReadFault(req.segment);  // the re-read
+    }
+    bool ok = fault != FaultType::kPermanentMediaError;
+    if (!ok) {
+      r.recovery_seconds += profile->reread_overhead_seconds;
+      recovery_before += profile->reread_overhead_seconds;
+      ++r.permanent_errors;
+      r.abandoned_segments.push_back(req.segment);
+      r.segments_read -= req.count;
+    } else {
+      ++r.requests_serviced;
+    }
+    if (on_step) {
+      on_step(req, drive_.ReadSeconds(0, req.segment) + recovery_before, ok);
+    }
+  }
+
+  r.rewind_seconds = drive_.RewindSeconds(last);
+  r.final_position = 0;
+  r.total_seconds =
+      r.read_seconds + r.rewind_seconds + r.recovery_seconds;
+  return r;
+}
+
+RecoveringExecutionResult RecoveringExecutor::Execute(
+    const sched::Schedule& schedule, const StepCallback& on_step) const {
+  if (schedule.full_tape_scan) return ExecuteFullScan(schedule, on_step);
+
+  const tape::TapeGeometry& g = drive_.geometry();
+  const FaultProfile* profile = injector_ ? &injector_->profile() : nullptr;
+  RecoveringExecutionResult r;
+  r.final_position = schedule.initial_position;
+  if (schedule.order.empty()) return r;
+
+  // The live plan: requests not yet serviced, in service order. Repairs
+  // replace it wholesale.
+  std::vector<sched::Request> queue = schedule.order;
+  size_t idx = 0;
+  tape::SegmentId position = schedule.initial_position;
+  int reschedules_left = options_.reschedule_after_fault
+                             ? options_.max_reschedules
+                             : 0;
+  // Virtual time in operation order, for completion stamps. The category
+  // sums (locate/read/recovery) are kept separately so the zero-fault
+  // totals match ExecuteSchedule's summation order exactly.
+  double elapsed = 0.0;
+
+  while (idx < queue.size()) {
+    const sched::Request req = queue[idx];
+    SERPENTINE_CHECK_GE(req.segment, 0);
+    SERPENTINE_CHECK_LE(req.last(), g.total_segments() - 1);
+
+    // -------- locate phase (with retries) --------
+    bool located = false;
+    bool abandoned = false;
+    bool reschedule_now = false;
+    for (int attempt = 0;;) {
+      FaultType fault =
+          injector_ ? injector_->DrawLocateFault() : FaultType::kNone;
+      if (fault == FaultType::kNone) {
+        double t = drive_.LocateSeconds(position, req.segment);
+        r.locate_seconds += t;
+        elapsed += t;
+        ++r.locates;
+        position = req.segment;
+        located = true;
+        break;
+      }
+      if (fault == FaultType::kDriveReset) {
+        ++r.drive_resets;
+        double penalty =
+            profile->reset_seconds + drive_.RewindSeconds(position);
+        r.recovery_seconds += penalty;
+        elapsed += penalty;
+        position = 0;
+        if (reschedules_left > 0 && queue.size() - idx > 1) {
+          // The plan is stale: repair from BOT, current request included.
+          // With nothing else left to re-plan, fall through to the retry
+          // counter instead (a lone request can only be retried, and the
+          // counter bounds that).
+          reschedule_now = true;
+          break;
+        }
+      } else {  // kLocateOvershoot
+        ++r.locate_overshoots;
+        double wasted = drive_.LocateSeconds(position, req.segment) +
+                        profile->overshoot_settle_seconds;
+        r.recovery_seconds += wasted;
+        elapsed += wasted;
+        position = injector_->OvershootTarget(g, req.segment);
+      }
+      ++attempt;
+      if (attempt >= options_.retry.max_attempts) {
+        abandoned = true;
+        break;
+      }
+      double backoff = BackoffSeconds(options_.retry, attempt - 1);
+      r.recovery_seconds += backoff;
+      elapsed += backoff;
+      ++r.retries;
+    }
+
+    // -------- read phase (with retries) --------
+    bool permanent_failure = false;
+    if (located) {
+      if (!options_.estimate.include_reads) {
+        position = sched::OutPosition(g, req);
+        ++r.requests_serviced;
+        if (on_step) on_step(req, elapsed, true);
+      } else {
+        for (int attempt = 0;;) {
+          FaultType fault = injector_
+                                ? injector_->DrawReadFault(req.segment)
+                                : FaultType::kNone;
+          if (fault == FaultType::kNone) {
+            double t = drive_.ReadSeconds(req.segment, req.last());
+            r.read_seconds += t;
+            elapsed += t;
+            r.segments_read += req.count;
+            position = sched::OutPosition(g, req);
+            ++r.requests_serviced;
+            if (on_step) on_step(req, elapsed, true);
+            break;
+          }
+          if (fault == FaultType::kPermanentMediaError) {
+            ++r.permanent_errors;
+            double penalty = profile->reread_overhead_seconds;
+            r.recovery_seconds += penalty;
+            elapsed += penalty;
+            abandoned = true;
+            permanent_failure = true;
+            break;
+          }
+          // Transient: the failed pass streamed the span for nothing and
+          // the drive repositioned internally.
+          ++r.transient_read_errors;
+          double wasted = profile->reread_overhead_seconds +
+                          drive_.ReadSeconds(req.segment, req.last());
+          r.recovery_seconds += wasted;
+          elapsed += wasted;
+          ++attempt;
+          if (attempt >= options_.retry.max_attempts) {
+            abandoned = true;
+            break;
+          }
+          double backoff = BackoffSeconds(options_.retry, attempt - 1);
+          r.recovery_seconds += backoff;
+          elapsed += backoff;
+          ++r.retries;
+        }
+      }
+    }
+
+    if (abandoned) {
+      r.abandoned_segments.push_back(req.segment);
+      if (on_step) on_step(req, elapsed, false);
+      ++idx;
+      // A permanent media error invalidates the plan's assumptions about
+      // the neighborhood; re-plan the remainder from where the head is.
+      if (permanent_failure && reschedules_left > 0 &&
+          queue.size() - idx > 1) {
+        reschedule_now = true;
+      }
+    } else if (located) {
+      ++idx;  // serviced
+    }
+    // else: reset path broke out before locating — idx stays, the current
+    // request rejoins the (possibly repaired) plan.
+
+    // -------- mid-batch rescheduling --------
+    if (reschedule_now) {
+      std::vector<sched::Request> remaining(queue.begin() + idx, queue.end());
+      if (remaining.size() > 1) {
+        sched::Algorithm algorithm =
+            RepairAlgorithm(schedule.algorithm, remaining.size());
+        auto repaired =
+            sched::BuildSchedule(scheduling_model_, position, remaining,
+                                 algorithm, options_.scheduler_options);
+        if (!repaired.ok()) {
+          repaired = sched::BuildSchedule(scheduling_model_, position,
+                                          remaining, sched::Algorithm::kLoss,
+                                          options_.scheduler_options);
+        }
+        if (repaired.ok() && !repaired->full_tape_scan) {
+          queue = std::move(repaired->order);
+          idx = 0;
+          --reschedules_left;
+          ++r.reschedules;
+        }
+        // On any failure the stale order keeps being serviced; recovery
+        // never aborts the batch.
+      }
+    }
+  }
+
+  if (options_.estimate.rewind_at_end) {
+    r.rewind_seconds = drive_.RewindSeconds(position);
+    elapsed += r.rewind_seconds;
+    position = 0;
+  }
+  r.final_position = position;
+  r.total_seconds = r.locate_seconds + r.read_seconds + r.rewind_seconds +
+                    r.recovery_seconds;
+  return r;
+}
+
+}  // namespace serpentine::sim

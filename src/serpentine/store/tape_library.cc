@@ -1,6 +1,7 @@
 #include "serpentine/store/tape_library.h"
 
 #include <algorithm>
+#include <string>
 
 #include "serpentine/util/check.h"
 
@@ -25,26 +26,61 @@ const tape::Dlt4000LocateModel& TapeLibrary::model(int tape) const {
 }
 
 serpentine::Status TapeLibrary::RequireMounted() const {
-  if (mounted_ < 0) return FailedPreconditionError("no cartridge mounted");
+  if (mounted_ < 0) {
+    return FailedPreconditionError(
+        "no cartridge mounted (library holds " +
+        std::to_string(num_cartridges()) + " cartridges; call Mount first)");
+  }
   return OkStatus();
+}
+
+serpentine::Status TapeLibrary::ValidateTape(int tape) const {
+  if (tape < 0 || tape >= num_cartridges()) {
+    return InvalidArgumentError("cartridge " + std::to_string(tape) +
+                                " out of range [0, " +
+                                std::to_string(num_cartridges()) + ")");
+  }
+  return OkStatus();
+}
+
+void TapeLibrary::SetMountFaults(sim::FaultInjector* injector,
+                                 RetryPolicy retry) {
+  fault_injector_ = injector;
+  mount_retry_ = retry;
 }
 
 serpentine::Status TapeLibrary::Mount(int tape) {
-  if (tape < 0 || tape >= num_cartridges()) {
-    return InvalidArgumentError("no such cartridge: " + std::to_string(tape));
-  }
+  SERPENTINE_RETURN_IF_ERROR(AnnotateStatus(ValidateTape(tape), "Mount"));
   if (mounted_ == tape) return OkStatus();
   if (mounted_ >= 0) SERPENTINE_RETURN_IF_ERROR(Unmount());
-  Spend(library_timings_.robot_exchange_seconds +
-        library_timings_.load_seconds);
-  mounted_ = tape;
-  head_ = 0;
-  ++total_mounts_;
-  return OkStatus();
+
+  // The robot exchange + load may fail under fault injection; each failed
+  // attempt costs a robot re-pick plus the policy's backoff before trying
+  // again.
+  int attempts = std::max(1, mount_retry_.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (fault_injector_ != nullptr && fault_injector_->DrawMountFault()) {
+      ++mount_retries_;
+      Spend(fault_injector_->profile().mount_retry_seconds);
+      if (attempt + 1 < attempts) {
+        Spend(BackoffSeconds(mount_retry_, attempt));
+      }
+      continue;
+    }
+    Spend(library_timings_.robot_exchange_seconds +
+          library_timings_.load_seconds);
+    mounted_ = tape;
+    head_ = 0;
+    ++total_mounts_;
+    return OkStatus();
+  }
+  return ResourceExhaustedError(
+      "Mount: robot failed to mount cartridge " + std::to_string(tape) +
+      " after " + std::to_string(attempts) + " attempts");
 }
 
 serpentine::Status TapeLibrary::Unmount() {
-  SERPENTINE_RETURN_IF_ERROR(RequireMounted());
+  SERPENTINE_RETURN_IF_ERROR(AnnotateStatus(RequireMounted(), "Unmount"));
   // Single-reel cartridges must rewind to eject (paper footnote 5).
   Spend(models_[mounted_]->RewindSeconds(head_));
   Spend(library_timings_.unload_seconds +
@@ -55,10 +91,13 @@ serpentine::Status TapeLibrary::Unmount() {
 }
 
 serpentine::StatusOr<double> TapeLibrary::LocateTo(tape::SegmentId segment) {
-  SERPENTINE_RETURN_IF_ERROR(RequireMounted());
+  SERPENTINE_RETURN_IF_ERROR(AnnotateStatus(RequireMounted(), "LocateTo"));
   const auto& model = *models_[mounted_];
   if (segment < 0 || segment >= model.geometry().total_segments()) {
-    return OutOfRangeError("locate target off tape");
+    return OutOfRangeError(
+        "LocateTo: target segment " + std::to_string(segment) +
+        " off tape " + std::to_string(mounted_) + " (capacity " +
+        std::to_string(model.geometry().total_segments()) + ")");
   }
   double t = model.LocateSeconds(head_, segment);
   Spend(t);
@@ -67,12 +106,19 @@ serpentine::StatusOr<double> TapeLibrary::LocateTo(tape::SegmentId segment) {
 }
 
 serpentine::StatusOr<double> TapeLibrary::ReadForward(int64_t count) {
-  SERPENTINE_RETURN_IF_ERROR(RequireMounted());
-  if (count <= 0) return InvalidArgumentError("count must be positive");
+  SERPENTINE_RETURN_IF_ERROR(AnnotateStatus(RequireMounted(), "ReadForward"));
+  if (count <= 0) {
+    return InvalidArgumentError("ReadForward: count must be positive, got " +
+                                std::to_string(count));
+  }
   const auto& model = *models_[mounted_];
   tape::SegmentId last = head_ + count - 1;
   if (last >= model.geometry().total_segments()) {
-    return OutOfRangeError("read runs off the end of tape");
+    return OutOfRangeError(
+        "ReadForward: " + std::to_string(count) + " segments from " +
+        std::to_string(head_) + " run off the end of tape " +
+        std::to_string(mounted_) + " (capacity " +
+        std::to_string(model.geometry().total_segments()) + ")");
   }
   double t = model.ReadSeconds(head_, last);
   Spend(t);
@@ -84,11 +130,13 @@ serpentine::StatusOr<double> TapeLibrary::ReadForward(int64_t count) {
 serpentine::StatusOr<double> TapeLibrary::WriteForward(int64_t count) {
   // Streaming writes move the transport exactly like streaming reads; the
   // drive formats as it goes.
+  SERPENTINE_RETURN_IF_ERROR(
+      AnnotateStatus(RequireMounted(), "WriteForward"));
   return ReadForward(count);
 }
 
 serpentine::StatusOr<double> TapeLibrary::FullScan() {
-  SERPENTINE_RETURN_IF_ERROR(RequireMounted());
+  SERPENTINE_RETURN_IF_ERROR(AnnotateStatus(RequireMounted(), "FullScan"));
   const auto& model = *models_[mounted_];
   double t = model.LocateSeconds(head_, 0) + model.FullReadAndRewindSeconds();
   Spend(t);

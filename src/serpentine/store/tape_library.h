@@ -5,10 +5,13 @@
 #ifndef SERPENTINE_STORE_TAPE_LIBRARY_H_
 #define SERPENTINE_STORE_TAPE_LIBRARY_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "serpentine/sim/fault_injector.h"
 #include "serpentine/tape/locate_model.h"
+#include "serpentine/util/retry.h"
 #include "serpentine/util/status.h"
 #include "serpentine/util/statusor.h"
 
@@ -51,9 +54,18 @@ class TapeLibrary {
   /// Virtual time in seconds since construction.
   double now() const { return clock_seconds_; }
 
+  /// Attaches a fault process to the robot/drive exchange: each mount
+  /// attempt may fail (FaultProfile::mount_failure_rate) and is retried
+  /// with backoff per `retry`; every failed attempt costs the profile's
+  /// mount_retry_seconds plus the backoff on the virtual clock. Pass
+  /// nullptr to detach. The injector is borrowed, not owned.
+  void SetMountFaults(sim::FaultInjector* injector, RetryPolicy retry = {});
+
   /// Mounts cartridge `tape` (unmounting any current one first: rewind,
   /// unload, robot exchange, load). No-op if already mounted. The head is
-  /// at segment 0 after a fresh mount.
+  /// at segment 0 after a fresh mount. Under an attached fault process the
+  /// mount is retried with backoff; exhausting the retry budget returns
+  /// ResourceExhausted with the cartridge and attempt count in the message.
   serpentine::Status Mount(int tape);
 
   /// Rewinds, unloads, and returns the mounted cartridge to its slot.
@@ -81,10 +93,13 @@ class TapeLibrary {
 
   /// Lifetime counters.
   int64_t total_mounts() const { return total_mounts_; }
+  /// Failed robot/load attempts that were retried (fault injection only).
+  int64_t mount_retries() const { return mount_retries_; }
   double busy_seconds() const { return busy_seconds_; }
 
  private:
   serpentine::Status RequireMounted() const;
+  serpentine::Status ValidateTape(int tape) const;
   void Spend(double seconds) {
     clock_seconds_ += seconds;
     busy_seconds_ += seconds;
@@ -97,6 +112,9 @@ class TapeLibrary {
   double clock_seconds_ = 0.0;
   double busy_seconds_ = 0.0;
   int64_t total_mounts_ = 0;
+  int64_t mount_retries_ = 0;
+  sim::FaultInjector* fault_injector_ = nullptr;  // borrowed; may be null
+  RetryPolicy mount_retry_;
 };
 
 }  // namespace serpentine::store

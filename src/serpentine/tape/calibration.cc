@@ -1,6 +1,7 @@
 #include "serpentine/tape/calibration.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "serpentine/util/check.h"
@@ -8,29 +9,60 @@
 namespace serpentine::tape {
 namespace {
 
-/// One timing probe, noise-hardened by taking the median of repeated
-/// measurements.
+double MedianOf(std::vector<double>& values) {
+  std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                   values.end());
+  return values[values.size() / 2];
+}
+
+/// One timing probe, noise-hardened by a trimmed median of repeated
+/// measurements: the median defeats ordinary noise, and probes far from
+/// it (gross glitches — a stuck locate, a mid-measurement drive reset)
+/// are discarded before the final median. A comparison that loses more
+/// than half its probes to trimming draws extra rounds, bounded by
+/// max_remeasure_rounds.
 class Prober {
  public:
-  Prober(const LocateModel& drive, int repeats, int64_t* counter)
-      : drive_(drive), repeats_(std::max(1, repeats)), counter_(counter) {}
+  Prober(const LocateModel& drive, const CalibrationOptions& options,
+         int64_t* counter)
+      : drive_(drive),
+        repeats_(std::max(1, options.probes_per_comparison)),
+        trim_seconds_(options.outlier_trim_seconds),
+        max_rounds_(std::max(0, options.max_remeasure_rounds)),
+        counter_(counter) {}
 
   double Measure(SegmentId src, SegmentId dst) {
     buf_.clear();
-    for (int i = 0; i < repeats_; ++i) {
-      buf_.push_back(drive_.LocateSeconds(src, dst));
-      ++*counter_;
+    for (int round = 0;; ++round) {
+      for (int i = 0; i < repeats_; ++i) {
+        buf_.push_back(drive_.LocateSeconds(src, dst));
+        ++*counter_;
+      }
+      scratch_ = buf_;
+      if (trim_seconds_ <= 0.0) return MedianOf(scratch_);
+      double med = MedianOf(scratch_);
+      trimmed_.clear();
+      for (double v : buf_) {
+        if (std::abs(v - med) <= trim_seconds_) trimmed_.push_back(v);
+      }
+      // A clean drive loses nothing to trimming, so the trimmed median is
+      // exactly the plain median. Only a glitch storm (most probes far
+      // from their own median) triggers another round.
+      if (2 * trimmed_.size() >= buf_.size() || round >= max_rounds_) {
+        return MedianOf(trimmed_.empty() ? scratch_ : trimmed_);
+      }
     }
-    std::nth_element(buf_.begin(), buf_.begin() + buf_.size() / 2,
-                     buf_.end());
-    return buf_[buf_.size() / 2];
   }
 
  private:
   const LocateModel& drive_;
   int repeats_;
+  double trim_seconds_;
+  int max_rounds_;
   int64_t* counter_;
   std::vector<double> buf_;
+  std::vector<double> scratch_;
+  std::vector<double> trimmed_;
 };
 
 }  // namespace
@@ -49,7 +81,7 @@ serpentine::StatusOr<CalibrationResult> CalibrateKeyPoints(
 
   CalibrationResult result;
   result.key_segments.resize(tracks);
-  Prober prober(drive, options.probes_per_comparison, &result.measurements);
+  Prober prober(drive, options, &result.measurements);
 
   for (int t = 0; t < tracks; ++t) {
     SegmentId track_start = track_starts[t];

@@ -42,6 +42,20 @@ struct CalibrationOptions {
   /// drive-family constant: 15.5 s per ~704-segment section on the
   /// DLT4000. Density jitter of a few percent is tolerated.
   double seconds_per_segment = 15.5 / 704.0;
+  /// Robust fit: probes farther than this from a comparison's median are
+  /// treated as gross outliers (a stuck locate, a retried SCSI command, a
+  /// drive soft reset mid-measurement) and discarded before the final
+  /// median is taken. The default sits far above honest measurement noise
+  /// (sub-second) but below a reset-magnitude glitch (~25 s), so clean and
+  /// mildly noisy drives calibrate bit-identically with or without
+  /// trimming. Set <= 0 to disable.
+  double outlier_trim_seconds = 10.0;
+  /// When trimming discards more than half of a comparison's probes, the
+  /// comparison draws this many extra rounds of probes_per_comparison
+  /// measurements (accumulated, then re-trimmed) before accepting the
+  /// trimmed median. Bounds worst-case measurement cost on a badly
+  /// glitching drive.
+  int max_remeasure_rounds = 2;
 };
 
 /// Result of calibrating one cartridge.

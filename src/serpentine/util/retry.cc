@@ -1,0 +1,25 @@
+#include "serpentine/util/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace serpentine {
+
+double BackoffSeconds(const RetryPolicy& policy, int retry_index) {
+  if (retry_index < 0) return 0.0;
+  double backoff = policy.initial_backoff_seconds *
+                   std::pow(policy.backoff_multiplier,
+                            static_cast<double>(retry_index));
+  backoff = std::min(backoff, policy.max_backoff_seconds);
+  return std::max(backoff, 0.0);
+}
+
+double TotalBackoffSeconds(const RetryPolicy& policy) {
+  double total = 0.0;
+  for (int r = 0; r + 1 < policy.max_attempts; ++r) {
+    total += BackoffSeconds(policy, r);
+  }
+  return total;
+}
+
+}  // namespace serpentine

@@ -32,6 +32,14 @@ std::string Status::ToString() const {
   return out;
 }
 
+Status AnnotateStatus(const Status& status, std::string_view context) {
+  if (status.ok() || context.empty()) return status;
+  std::string message(context);
+  message += ": ";
+  message += status.message();
+  return Status(status.code(), std::move(message));
+}
+
 Status InvalidArgumentError(std::string message) {
   return Status(StatusCode::kInvalidArgument, std::move(message));
 }

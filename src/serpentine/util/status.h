@@ -61,6 +61,13 @@ class Status {
   std::string message_;
 };
 
+/// Returns `status` with "<context>: " prefixed to its message (the code is
+/// preserved), so callers can layer operation context onto a low-level
+/// error: AnnotateStatus(OutOfRangeError("segment 9 off tape"), "LocateTo")
+/// → "OutOfRange: LocateTo: segment 9 off tape". OK statuses pass through
+/// unchanged.
+Status AnnotateStatus(const Status& status, std::string_view context);
+
 /// Factory helpers, one per error category.
 inline Status OkStatus() { return Status(); }
 Status InvalidArgumentError(std::string message);

@@ -107,5 +107,87 @@ TEST_F(QueueSimTest, DenseOverloadFallsBackSanely) {
   EXPECT_LT(r.drive_busy_seconds / r.completed, 40.0);
 }
 
+// ---------------------------------------------------------------------------
+// Fault injection through the queue simulation.
+// ---------------------------------------------------------------------------
+
+TEST_F(QueueSimTest, ZeroFaultProfileKeepsTheFaultFreePath) {
+  QueueSimConfig clean;
+  clean.total_requests = 100;
+  QueueSimConfig with_none = clean;
+  with_none.faults = FaultProfile::None();
+  QueueSimResult a = RunQueueSimulation(model_, clean);
+  QueueSimResult b = RunQueueSimulation(model_, with_none);
+  EXPECT_EQ(a.mean_response_seconds, b.mean_response_seconds);
+  EXPECT_EQ(a.drive_busy_seconds, b.drive_busy_seconds);
+  EXPECT_EQ(b.fault_retries, 0);
+  EXPECT_EQ(b.failed, 0);
+}
+
+TEST_F(QueueSimTest, FaultsCompleteEveryRequestAndOnlyAddTime) {
+  QueueSimConfig clean;
+  clean.total_requests = 150;
+  clean.dispatch_min_batch = 8;
+  QueueSimConfig faulty = clean;
+  faulty.faults = FaultProfile::Heavy();
+  QueueSimResult c = RunQueueSimulation(model_, clean);
+  QueueSimResult f = RunQueueSimulation(model_, faulty);
+  // Every request still gets an answer (served or reported failed)...
+  EXPECT_EQ(f.completed, 150);
+  EXPECT_LE(f.failed, f.completed);
+  // ...and faults can only cost drive time, never save it.
+  EXPECT_GT(f.drive_busy_seconds, c.drive_busy_seconds);
+  EXPECT_GT(f.fault_retries + f.drive_resets + f.permanent_errors, 0);
+  EXPECT_GE(f.recovery_seconds, 0.0);
+}
+
+TEST_F(QueueSimTest, FaultStatisticsAreThreadCountInvariant) {
+  QueueSimConfig config;
+  config.total_requests = 60;
+  config.dispatch_min_batch = 8;
+  config.faults = FaultProfile::Heavy();
+  ReplicatedQueueSimStats serial =
+      RunReplicatedQueueSimulation(model_, config, 6, /*threads=*/1);
+  ReplicatedQueueSimStats parallel =
+      RunReplicatedQueueSimulation(model_, config, 6, /*threads=*/4);
+  ASSERT_EQ(serial.results.size(), parallel.results.size());
+  for (size_t r = 0; r < serial.results.size(); ++r) {
+    EXPECT_EQ(serial.results[r].mean_response_seconds,
+              parallel.results[r].mean_response_seconds)
+        << "replication " << r;
+    EXPECT_EQ(serial.results[r].drive_busy_seconds,
+              parallel.results[r].drive_busy_seconds)
+        << "replication " << r;
+    EXPECT_EQ(serial.results[r].fault_retries,
+              parallel.results[r].fault_retries)
+        << "replication " << r;
+    EXPECT_EQ(serial.results[r].failed, parallel.results[r].failed)
+        << "replication " << r;
+  }
+  EXPECT_EQ(serial.mean_response_seconds.mean(),
+            parallel.mean_response_seconds.mean());
+  EXPECT_EQ(serial.utilization.mean(), parallel.utilization.mean());
+}
+
+TEST_F(QueueSimTest, ReplicationsDrawDecorrelatedFaultStreams) {
+  QueueSimConfig config;
+  config.total_requests = 80;
+  config.dispatch_min_batch = 8;
+  config.faults = FaultProfile::Heavy();
+  ReplicatedQueueSimStats stats =
+      RunReplicatedQueueSimulation(model_, config, 4, 1);
+  // Different replications see different arrival AND fault streams; their
+  // recovery accounting should not be identical across the board.
+  bool any_difference = false;
+  for (size_t r = 1; r < stats.results.size(); ++r) {
+    if (stats.results[r].fault_retries != stats.results[0].fault_retries ||
+        stats.results[r].recovery_seconds !=
+            stats.results[0].recovery_seconds) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
 }  // namespace
 }  // namespace serpentine::sim

@@ -84,6 +84,28 @@ TEST_F(SimTest, PercentErrorDefinition) {
   EXPECT_DOUBLE_EQ(PercentError(95.0, 100.0), -5.0);
 }
 
+TEST_F(SimTest, PercentErrorGuardsZeroMeasurement) {
+  // Degenerate measurements must not crash: both-zero agrees perfectly,
+  // a nonzero estimate against a zero measurement is infinitely wrong.
+  EXPECT_DOUBLE_EQ(PercentError(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(PercentError(5.0, 0.0)));
+  EXPECT_GT(PercentError(5.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(PercentError(-5.0, 0.0)));
+  EXPECT_LT(PercentError(-5.0, 0.0), 0.0);
+}
+
+TEST_F(SimTest, EmptyScheduleExecutesToZeroWork) {
+  Schedule s;
+  s.initial_position = 4321;
+  ExecutionResult r = ExecuteSchedule(model_, s);
+  EXPECT_EQ(r.total_seconds, 0.0);
+  EXPECT_EQ(r.locate_seconds, 0.0);
+  EXPECT_EQ(r.read_seconds, 0.0);
+  EXPECT_EQ(r.locates, 0);
+  EXPECT_EQ(r.segments_read, 0);
+  EXPECT_EQ(r.final_position, 4321);
+}
+
 // ---------------------------------------------------------------------------
 // PerturbedLocateModel (paper §7, Fig 10 error model).
 // ---------------------------------------------------------------------------

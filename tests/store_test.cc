@@ -152,6 +152,99 @@ TEST_F(TapeLibraryTest, IdleAdvancesClockWithoutBusyTime) {
   EXPECT_DOUBLE_EQ(library_.busy_seconds(), 0.0);
 }
 
+TEST_F(TapeLibraryTest, ErrorsNameTheOperationAndValues) {
+  // Every validation failure must say which operation, which value, and
+  // what the valid range was — a CHECK crash or a bare "error" is useless
+  // in a store log.
+  Status bad_tape = library_.Mount(7);
+  EXPECT_EQ(bad_tape.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_tape.message().find("Mount"), std::string::npos);
+  EXPECT_NE(bad_tape.message().find("7"), std::string::npos);
+  EXPECT_NE(bad_tape.message().find("[0, 3)"), std::string::npos);
+  EXPECT_EQ(library_.Mount(-1).code(), StatusCode::kInvalidArgument);
+
+  Status unmounted = library_.LocateTo(100).status();
+  EXPECT_EQ(unmounted.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(unmounted.message().find("LocateTo"), std::string::npos);
+  EXPECT_NE(unmounted.message().find("no cartridge mounted"),
+            std::string::npos);
+  EXPECT_NE(library_.Unmount().message().find("Unmount"), std::string::npos);
+  EXPECT_NE(library_.WriteForward(5).status().message().find("WriteForward"),
+            std::string::npos);
+
+  ASSERT_TRUE(library_.Mount(0).ok());
+  SegmentId total = library_.model(0).geometry().total_segments();
+  Status off_tape = library_.LocateTo(total).status();
+  EXPECT_EQ(off_tape.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(off_tape.message().find(std::to_string(total)),
+            std::string::npos);
+  Status bad_count = library_.ReadForward(0).status();
+  EXPECT_EQ(bad_count.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_count.message().find("ReadForward"), std::string::npos);
+}
+
+TEST_F(TapeLibraryTest, MountRetriesUnderRobotFaults) {
+  sim::FaultProfile profile;
+  profile.mount_failure_rate = 0.5;
+  sim::FaultInjector injector(profile);
+  library_.SetMountFaults(&injector);
+  int64_t mounts = 0, retries_seen = 0;
+  double clean_mount_cost = 15.0 + 40.0;
+  for (int tape = 0; tape < 200 && library_.mount_retries() < 5; ++tape) {
+    double before = library_.now();
+    Status s = library_.Mount(tape % 3);
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+      EXPECT_NE(s.message().find("Mount"), std::string::npos);
+      retries_seen = library_.mount_retries();
+      continue;
+    }
+    ++mounts;
+    if (library_.mount_retries() > retries_seen) {
+      // A retried mount paid the robot re-pick plus backoff on top of the
+      // clean exchange cost.
+      EXPECT_GT(library_.now() - before, clean_mount_cost);
+      retries_seen = library_.mount_retries();
+    }
+  }
+  EXPECT_GT(mounts, 0);
+  EXPECT_GT(library_.mount_retries(), 0);
+}
+
+TEST_F(TapeLibraryTest, MountExhaustionReturnsResourceExhausted) {
+  sim::FaultProfile profile;
+  profile.mount_failure_rate = 1.0;  // the robot never succeeds
+  sim::FaultInjector injector(profile);
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  library_.SetMountFaults(&injector, retry);
+  Status s = library_.Mount(0);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("3 attempts"), std::string::npos);
+  EXPECT_EQ(library_.mounted(), -1);
+  EXPECT_EQ(library_.mount_retries(), 3);
+  // Detaching the injector restores infallible mounts.
+  library_.SetMountFaults(nullptr);
+  EXPECT_TRUE(library_.Mount(0).ok());
+}
+
+TEST_F(TapeLibraryTest, MountFaultsAreDeterministic) {
+  auto run = [] {
+    TapeLibrary library(Dlt4000TapeParams(), 3, Dlt4000Timings());
+    sim::FaultProfile p;
+    p.mount_failure_rate = 0.4;
+    sim::FaultInjector injector(p);
+    library.SetMountFaults(&injector);
+    for (int i = 0; i < 40; ++i) (void)library.Mount(i % 3);
+    return std::pair<double, int64_t>(library.now(),
+                                      library.mount_retries());
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
 // ---------------------------------------------------------------------------
 // TertiaryStore.
 // ---------------------------------------------------------------------------

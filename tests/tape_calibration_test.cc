@@ -123,6 +123,64 @@ TEST_F(CalibrationTest, CalibratedModelEstimatesMatchTruth) {
   EXPECT_LT(abs_err.mean() * 3.0, wrong_err.mean());
 }
 
+/// A drive whose timing reports are intermittently garbage: on a fixed
+/// deterministic pattern of calls the reported locate time gains a large
+/// pseudo-random offset (a stuck locate / retried command reported as if
+/// it were the real duration). Unlike PhysicalDrive noise, these glitches
+/// are far outside any honest measurement distribution.
+class GlitchyDrive : public LocateModel {
+ public:
+  explicit GlitchyDrive(const Dlt4000LocateModel& ideal) : ideal_(ideal) {}
+
+  double LocateSeconds(SegmentId src, SegmentId dst) const override {
+    int64_t n = calls_++;
+    double t = ideal_.LocateSeconds(src, dst);
+    if (n % 7 < 2) t += 20.0 + static_cast<double>((n * 37) % 150);
+    return t;
+  }
+  double ReadSeconds(SegmentId from, SegmentId to) const override {
+    return ideal_.ReadSeconds(from, to);
+  }
+  double RewindSeconds(SegmentId from) const override {
+    return ideal_.RewindSeconds(from);
+  }
+  const TapeGeometry& geometry() const override { return ideal_.geometry(); }
+  bool SupportsConcurrentUse() const override { return false; }
+
+ private:
+  const Dlt4000LocateModel& ideal_;
+  mutable int64_t calls_ = 0;
+};
+
+TEST_F(CalibrationTest, TrimmedFitSurvivesGrossGlitches) {
+  GlitchyDrive drive(ideal_);
+  auto result = CalibrateKeyPoints(drive, truth_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Two of every seven probes are garbage, so many comparisons see a
+  // majority of bad probes; the outlier trim plus re-measure rounds must
+  // still recover every timing-visible key point exactly.
+  for (int t = 0; t < truth_.num_tracks(); ++t) {
+    for (int r = 2; r < truth_.sections_per_track(); ++r) {
+      EXPECT_EQ(result->key_segments[t][r], truth_.KeyPointSegment(t, r))
+          << "track " << t << " key " << r;
+    }
+  }
+}
+
+TEST_F(CalibrationTest, TrimmingDoesNotChangeCleanCalibration) {
+  CalibrationOptions no_trim;
+  no_trim.outlier_trim_seconds = 0.0;
+  no_trim.max_remeasure_rounds = 0;
+  auto trimmed = CalibrateKeyPoints(ideal_, truth_);
+  auto plain = CalibrateKeyPoints(ideal_, truth_, no_trim);
+  ASSERT_TRUE(trimmed.ok());
+  ASSERT_TRUE(plain.ok());
+  // On a clean drive the trim discards nothing and draws no extra rounds:
+  // identical key points from an identical measurement budget.
+  EXPECT_EQ(trimmed->key_segments, plain->key_segments);
+  EXPECT_EQ(trimmed->measurements, plain->measurements);
+}
+
 TEST_F(CalibrationTest, ValidatesInputs) {
   EXPECT_FALSE(
       CalibrateKeyPoints(ideal_, std::vector<SegmentId>{0}, 14).ok());

@@ -1,0 +1,54 @@
+#include "serpentine/util/retry.h"
+
+#include <gtest/gtest.h>
+
+namespace serpentine {
+namespace {
+
+TEST(RetryTest, BackoffGrowsGeometrically) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.5;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 30.0;
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 0), 0.5);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 1), 1.0);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 2), 2.0);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 3), 4.0);
+}
+
+TEST(RetryTest, BackoffClampsAtMax) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 1.0;
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff_seconds = 50.0;
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 1), 10.0);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 2), 50.0);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 20), 50.0);
+}
+
+TEST(RetryTest, BackoffNeverNegative) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = -3.0;
+  EXPECT_GE(BackoffSeconds(policy, 0), 0.0);
+  EXPECT_GE(BackoffSeconds(policy, 5), 0.0);
+}
+
+TEST(RetryTest, TotalBackoffSumsAllRetries) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;  // 3 retries: 0.5 + 1.0 + 2.0
+  policy.initial_backoff_seconds = 0.5;
+  policy.backoff_multiplier = 2.0;
+  EXPECT_DOUBLE_EQ(TotalBackoffSeconds(policy), 3.5);
+}
+
+TEST(RetryTest, TotalBackoffZeroForSingleAttempt) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  EXPECT_DOUBLE_EQ(TotalBackoffSeconds(policy), 0.0);
+  policy.max_attempts = 0;
+  EXPECT_DOUBLE_EQ(TotalBackoffSeconds(policy), 0.0);
+}
+
+}  // namespace
+}  // namespace serpentine

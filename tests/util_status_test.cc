@@ -89,5 +89,24 @@ TEST(StatusOrTest, MovesValueOut) {
   EXPECT_EQ(s.size(), 100u);
 }
 
+TEST(AnnotateStatusTest, PrependsContextKeepingTheCode) {
+  Status annotated =
+      AnnotateStatus(OutOfRangeError("segment 9 off tape"), "LocateTo");
+  EXPECT_EQ(annotated.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(annotated.message(), "LocateTo: segment 9 off tape");
+}
+
+TEST(AnnotateStatusTest, OkAndEmptyContextPassThrough) {
+  EXPECT_TRUE(AnnotateStatus(OkStatus(), "Mount").ok());
+  Status s = NotFoundError("x");
+  EXPECT_EQ(AnnotateStatus(s, "").message(), "x");
+}
+
+TEST(AnnotateStatusTest, Nests) {
+  Status inner = AnnotateStatus(InternalError("bad fit"), "track 3");
+  EXPECT_EQ(AnnotateStatus(inner, "Calibrate").message(),
+            "Calibrate: track 3: bad fit");
+}
+
 }  // namespace
 }  // namespace serpentine

@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# CI entry point: build and test under each sanitizer configuration.
+#
+#   tools/ci.sh [plain|address|thread ...]
+#
+# With no arguments runs all three configurations in order. Each
+# configuration gets its own build tree (build-ci-<name>) so sanitizer
+# and plain objects never mix. Fails on the first configuration whose
+# build or test suite fails.
+#
+# The thread-sanitizer pass is the one that vets the parallel experiment
+# engine (ParallelFor / ShardCount); the address pass catches lifetime
+# bugs in the fault-injection and recovery paths, which exercise
+# rescheduling mid-batch.
+set -eu
+
+CONFIGS="${*:-plain address thread}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+for config in $CONFIGS; do
+  case "$config" in
+    plain)   sanitize="" ;;
+    address) sanitize="address" ;;
+    thread)  sanitize="thread" ;;
+    *)
+      echo "error: unknown configuration '$config'" \
+           "(expected plain, address, or thread)" >&2
+      exit 2
+      ;;
+  esac
+
+  build_dir="build-ci-$config"
+  echo "== $config: configure ($build_dir) =="
+  cmake -B "$build_dir" -S . -DSERPENTINE_SANITIZE="$sanitize" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  echo "== $config: build =="
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "== $config: test =="
+  (cd "$build_dir" && ctest --output-on-failure -j "$JOBS")
+  echo "== $config: OK =="
+done
+
+echo "all configurations passed: $CONFIGS"

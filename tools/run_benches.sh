@@ -33,5 +33,13 @@ SERPENTINE_BENCH_JSON="$OUT_DIR/BENCH_sim.jsonl" \
   "$BUILD_DIR/bench/fig7_utilization"
 
 echo
-echo "wrote $OUT_DIR/BENCH_sched.json and $OUT_DIR/BENCH_sim.jsonl" \
+echo "== fault sweep: smoke (robustness; exits nonzero on accounting" \
+     "violations) =="
+SERPENTINE_SCALE=smoke "$BUILD_DIR/bench/fault_sweep" \
+  > "$OUT_DIR/BENCH_fault_sweep.txt"
+tail -n 2 "$OUT_DIR/BENCH_fault_sweep.txt"
+
+echo
+echo "wrote $OUT_DIR/BENCH_sched.json, $OUT_DIR/BENCH_sim.jsonl, and" \
+     "$OUT_DIR/BENCH_fault_sweep.txt" \
      "(threads: ${SERPENTINE_THREADS:-auto}, scale: ${SERPENTINE_SCALE:-default})"

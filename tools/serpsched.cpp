@@ -21,6 +21,12 @@
 //   --rewind           charge a rewind after the last read
 //   --explain          show each locate's model case and scan/read split
 //   --quiet            print only the summary
+//   --fault-profile=P  execute the schedule under fault injection and
+//                      report recovery accounting. P is none|light|heavy
+//                      or a key=value profile file (see
+//                      sim/fault_injector.h); "none" still runs the
+//                      recovering executor and must match the estimate.
+//   --fault-seed=N     fault stream seed (default: the profile's seed)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +36,8 @@
 #include "serpentine/sched/estimator.h"
 #include "serpentine/sched/local_search.h"
 #include "serpentine/sched/scheduler.h"
+#include "serpentine/sim/fault_injector.h"
+#include "serpentine/sim/recovering_executor.h"
 #include "serpentine/tape/locate_cache.h"
 #include "serpentine/tape/locate_model.h"
 #include "serpentine/util/lrand48.h"
@@ -52,6 +60,8 @@ struct Args {
   bool quiet = false;
   bool explain = false;
   std::string trace_path;
+  std::string fault_profile;  // empty = no fault execution pass
+  int32_t fault_seed = 0;     // 0 = keep the profile's own seed
   std::vector<tape::SegmentId> segments;
 };
 
@@ -60,7 +70,8 @@ int Usage(const char* argv0) {
                "usage: %s [--algorithm=A] [--drive=D] [--tape-seed=N] "
                "[--initial=SEG] [--random=N] [--seed=N] [--stdin] "
                "[--trace=FILE] [--improve] [--rewind] [--explain] "
-               "[--quiet] [segment ...]\n",
+               "[--quiet] [--fault-profile=none|light|heavy|FILE] "
+               "[--fault-seed=N] [segment ...]\n",
                argv0);
   return 2;
 }
@@ -108,6 +119,10 @@ int main(int argc, char** argv) {
       args.from_stdin = true;
     } else if (ParseFlag(argv[i], "--trace", &v) && v) {
       args.trace_path = v;
+    } else if (ParseFlag(argv[i], "--fault-profile", &v) && v) {
+      args.fault_profile = v;
+    } else if (ParseFlag(argv[i], "--fault-seed", &v) && v) {
+      args.fault_seed = std::atoi(v);
     } else if (ParseFlag(argv[i], "--explain", &v) && !v) {
       args.explain = true;
     } else if (ParseFlag(argv[i], "--improve", &v) && !v) {
@@ -238,5 +253,36 @@ int main(int argc, char** argv) {
               scheduled, scheduled / 3600.0, scheduled / requests.size());
   std::printf("# fifo baseline:       %.1f s, speedup %.2fx\n", fifo_s,
               fifo_s / scheduled);
+
+  if (!args.fault_profile.empty()) {
+    auto profile = sim::LoadFaultProfile(args.fault_profile);
+    if (!profile.ok()) {
+      std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+      return 2;
+    }
+    if (args.fault_seed != 0) profile->seed = args.fault_seed;
+    sim::FaultInjector injector(*profile);
+    sim::RecoveryOptions recovery;
+    recovery.estimate.rewind_at_end = args.rewind;
+    sim::RecoveringExecutor executor(model, cached, &injector, recovery);
+    sim::RecoveringExecutionResult res = executor.Execute(*schedule);
+    std::printf("# fault execution (%s, seed %d): %.1f s "
+                "(%.1f s recovery, %.2fx estimate)\n",
+                args.fault_profile.c_str(), profile->seed, res.total_seconds,
+                res.recovery_seconds,
+                scheduled > 0 ? res.total_seconds / scheduled : 0.0);
+    std::printf("#   serviced %lld/%zu, transient %lld, overshoot %lld, "
+                "reset %lld, permanent %lld, retries %lld, reschedules %lld, "
+                "abandoned %zu\n",
+                static_cast<long long>(res.requests_serviced),
+                schedule->order.size(),
+                static_cast<long long>(res.transient_read_errors),
+                static_cast<long long>(res.locate_overshoots),
+                static_cast<long long>(res.drive_resets),
+                static_cast<long long>(res.permanent_errors),
+                static_cast<long long>(res.retries),
+                static_cast<long long>(res.reschedules),
+                res.abandoned_segments.size());
+  }
   return 0;
 }
