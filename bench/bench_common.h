@@ -6,8 +6,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "serpentine/drive/metered_drive.h"
+#include "serpentine/drive/model_drive.h"
+#include "serpentine/sched/registry.h"
 #include "serpentine/sched/scheduler.h"
 #include "serpentine/sim/experiment.h"
 #include "serpentine/tape/locate_model.h"
@@ -91,6 +95,38 @@ inline tape::Dlt4000LocateModel MakeTapeBModel() {
       tape::Dlt4000Timings());
 }
 
+/// A ready-to-run metered drive stack over its own model copy:
+/// MeteredDrive(ModelDrive(model)). Hoists the model/tape boilerplate every
+/// drive-consuming bench repeats — construct one, hand drive() to an
+/// executor, read metrics() after.
+class BenchDriveStack {
+ public:
+  explicit BenchDriveStack(tape::Dlt4000LocateModel model)
+      : model_(std::move(model)), base_(model_), metered_(&base_) {}
+
+  // base_/metered_ hold pointers into this object; copying or moving would
+  // leave them dangling. Factory returns rely on guaranteed elision.
+  BenchDriveStack(const BenchDriveStack&) = delete;
+  BenchDriveStack& operator=(const BenchDriveStack&) = delete;
+
+  drive::Drive& drive() { return metered_; }
+  drive::MeteredDrive& metered() { return metered_; }
+  const tape::Dlt4000LocateModel& model() const { return model_; }
+
+ private:
+  tape::Dlt4000LocateModel model_;
+  drive::ModelDrive base_;
+  drive::MeteredDrive metered_;
+};
+
+/// The standard bench drives, ready to execute schedules on tape A/B.
+inline BenchDriveStack MakeTapeADrive() {
+  return BenchDriveStack(MakeTapeAModel());
+}
+inline BenchDriveStack MakeTapeBDrive() {
+  return BenchDriveStack(MakeTapeBModel());
+}
+
 /// Prints the figure banner, the active trial scale, and the thread count.
 inline void PrintHeader(const char* figure, const char* description) {
   const char* scale = ScaleName();
@@ -117,25 +153,20 @@ inline void RunPerLocateFigure(const char* figure, bool start_at_bot,
   tape::Dlt4000LocateModel model = MakeTapeAModel();
   TimingRecorder recorder(figure);
 
-  struct Entry {
-    sched::Algorithm algorithm;
-    const char* label;
-  };
-  const std::vector<Entry> entries = {
-      {sched::Algorithm::kFifo, "FIFO"},
-      {sched::Algorithm::kSort, "SORT"},
-      {sched::Algorithm::kScan, "SCAN"},
-      {sched::Algorithm::kWeave, "WEAVE"},
-      {sched::Algorithm::kSltf, "SLTF"},
-      {sched::Algorithm::kLoss, "LOSS"},
-      {sched::Algorithm::kOpt, "OPT"},
-      {sched::Algorithm::kRead, "READ"},
-  };
+  // The figure's algorithms come from the shared scheduler registry, in
+  // the paper's plotting order.
+  const sched::Registry& registry = sched::Registry::Default();
+  std::vector<const sched::RegistryEntry*> entries;
+  for (const char* name :
+       {"fifo", "sort", "scan", "weave", "sltf", "loss", "opt", "read"}) {
+    const sched::RegistryEntry* entry = registry.Find(name);
+    if (entry != nullptr) entries.push_back(entry);
+  }
 
   Table means;
   Table stds;
   std::vector<std::string> header = {"N", "trials"};
-  for (const auto& e : entries) header.push_back(e.label);
+  for (const auto* e : entries) header.push_back(e->label);
   means.SetHeader(header);
   stds.SetHeader(header);
 
@@ -145,21 +176,21 @@ inline void RunPerLocateFigure(const char* figure, bool start_at_bot,
     int64_t trials = TrialsFor(n);
     mean_row.push_back(Table::Int(trials));
     std_row.push_back(Table::Int(trials));
-    for (const auto& e : entries) {
-      if (e.algorithm == sched::Algorithm::kOpt && n > 12) {
+    for (const auto* e : entries) {
+      if (e->algorithm == sched::Algorithm::kOpt && n > 12) {
         mean_row.push_back("-");
         std_row.push_back("-");
         continue;
       }
       int64_t point_trials =
-          e.algorithm == sched::Algorithm::kOpt
+          e->algorithm == sched::Algorithm::kOpt
               ? ScaledTrials(sim::PaperTrialsOpt(n))
               : trials;
       auto begin = std::chrono::steady_clock::now();
       sim::PointStats p = sim::SimulatePoint(
-          model, model, e.algorithm, n, point_trials, start_at_bot, seed);
+          model, model, e->algorithm, n, point_trials, start_at_bot, seed);
       recorder.Record(
-          e.label, n, point_trials,
+          e->label.c_str(), n, point_trials,
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         begin)
               .count());

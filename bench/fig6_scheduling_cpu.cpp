@@ -21,8 +21,15 @@ struct Batch {
   std::vector<sched::Request> requests;
 };
 
-void RunScheduling(benchmark::State& state, sched::Algorithm algorithm,
-                   const sched::SchedulerOptions& options = {}) {
+void RunScheduling(benchmark::State& state, const char* scheduler_name) {
+  // Every timed configuration — base algorithms and the naive/coalesced
+  // variants — is a named entry in the shared scheduler registry.
+  const sched::RegistryEntry* entry =
+      sched::Registry::Default().Find(scheduler_name);
+  if (entry == nullptr) {
+    state.SkipWithError("scheduler not registered");
+    return;
+  }
   const auto& model = Model();
   int n = static_cast<int>(state.range(0));
   Lrand48 rng(42 + n);
@@ -44,47 +51,28 @@ void RunScheduling(benchmark::State& state, sched::Algorithm algorithm,
   for (auto _ : state) {
     const Batch& b = batches[next];
     next = (next + 1) % kBatches;
-    auto s = sched::BuildSchedule(model, b.initial, b.requests, algorithm,
-                                  options);
+    auto s = entry->build(model, b.initial, b.requests, entry->options);
     benchmark::DoNotOptimize(s);
   }
   state.SetComplexityN(n);
 }
 
-void BM_Fifo(benchmark::State& state) {
-  RunScheduling(state, sched::Algorithm::kFifo);
-}
-void BM_Sort(benchmark::State& state) {
-  RunScheduling(state, sched::Algorithm::kSort);
-}
-void BM_Scan(benchmark::State& state) {
-  RunScheduling(state, sched::Algorithm::kScan);
-}
-void BM_Weave(benchmark::State& state) {
-  RunScheduling(state, sched::Algorithm::kWeave);
-}
-void BM_Sltf(benchmark::State& state) {
-  RunScheduling(state, sched::Algorithm::kSltf);
-}
+void BM_Fifo(benchmark::State& state) { RunScheduling(state, "fifo"); }
+void BM_Sort(benchmark::State& state) { RunScheduling(state, "sort"); }
+void BM_Scan(benchmark::State& state) { RunScheduling(state, "scan"); }
+void BM_Weave(benchmark::State& state) { RunScheduling(state, "weave"); }
+void BM_Sltf(benchmark::State& state) { RunScheduling(state, "sltf"); }
 void BM_SltfNaive(benchmark::State& state) {
-  sched::SchedulerOptions options;
-  options.sltf_naive = true;
-  RunScheduling(state, sched::Algorithm::kSltf, options);
+  RunScheduling(state, "sltf-naive");
 }
-void BM_Loss(benchmark::State& state) {
-  RunScheduling(state, sched::Algorithm::kLoss);
-}
+void BM_Loss(benchmark::State& state) { RunScheduling(state, "loss"); }
 void BM_LossCoalesced(benchmark::State& state) {
-  sched::SchedulerOptions options;
-  options.loss_coalesce_threshold = sched::kDefaultCoalesceThreshold;
-  RunScheduling(state, sched::Algorithm::kLoss, options);
+  RunScheduling(state, "loss-coalesced");
 }
 void BM_SparseLoss(benchmark::State& state) {
-  RunScheduling(state, sched::Algorithm::kSparseLoss);
+  RunScheduling(state, "sparse-loss");
 }
-void BM_Opt(benchmark::State& state) {
-  RunScheduling(state, sched::Algorithm::kOpt);
-}
+void BM_Opt(benchmark::State& state) { RunScheduling(state, "opt"); }
 
 // The paper's schedule lengths, truncated per algorithm cost.
 void FullRange(benchmark::internal::Benchmark* b) {

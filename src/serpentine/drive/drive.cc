@@ -1,0 +1,26 @@
+#include "serpentine/drive/drive.h"
+
+namespace serpentine::drive {
+
+const char* OpStatusName(OpStatus s) {
+  switch (s) {
+    case OpStatus::kOk:
+      return "ok";
+    case OpStatus::kTransientReadError:
+      return "transient-read";
+    case OpStatus::kLocateOvershoot:
+      return "locate-overshoot";
+    case OpStatus::kDriveReset:
+      return "drive-reset";
+    case OpStatus::kPermanentMediaError:
+      return "permanent-media";
+  }
+  return "unknown";
+}
+
+bool IsRetryable(OpStatus s) {
+  return s == OpStatus::kTransientReadError ||
+         s == OpStatus::kLocateOvershoot || s == OpStatus::kDriveReset;
+}
+
+}  // namespace serpentine::drive

@@ -1,0 +1,84 @@
+#include "serpentine/drive/fault_drive.h"
+
+namespace serpentine::drive {
+
+OpResult FaultDrive::Locate(tape::SegmentId dst) {
+  if (injector_ == nullptr) return inner_->Locate(dst);
+  const FaultProfile& profile = injector_->profile();
+  switch (injector_->DrawLocateFault()) {
+    case FaultType::kNone:
+      return inner_->Locate(dst);
+    case FaultType::kDriveReset: {
+      // Controller restart, then the transport force-rewinds to BOT. The
+      // whole charge is recovery: no useful positioning happened.
+      OpResult r;
+      r.status = OpStatus::kDriveReset;
+      r.times.recovery_seconds =
+          profile.reset_seconds + model().RewindSeconds(Position());
+      SetPosition(0);
+      r.position = 0;
+      return r;
+    }
+    default: {  // kLocateOvershoot
+      // The full locate's motion is wasted and the head settles near the
+      // target (the paper's under-modeled track-end region), plus settle
+      // time before it can try again.
+      OpResult r;
+      r.status = OpStatus::kLocateOvershoot;
+      r.times.recovery_seconds = model().LocateSeconds(Position(), dst) +
+                                 profile.overshoot_settle_seconds;
+      SetPosition(injector_->OvershootTarget(geometry(), dst));
+      r.position = Position();
+      return r;
+    }
+  }
+}
+
+OpResult FaultDrive::ReadSegments(tape::SegmentId from, tape::SegmentId to) {
+  if (injector_ == nullptr) return inner_->ReadSegments(from, to);
+  const FaultProfile& profile = injector_->profile();
+  switch (injector_->DrawReadFault(from)) {
+    case FaultType::kNone:
+      return inner_->ReadSegments(from, to);
+    case FaultType::kPermanentMediaError: {
+      OpResult r;
+      r.status = OpStatus::kPermanentMediaError;
+      r.times.recovery_seconds = profile.reread_overhead_seconds;
+      r.position = Position();
+      return r;
+    }
+    default: {  // kTransientReadError
+      // The failed pass streamed the span for nothing and the drive
+      // repositioned internally; the head is back at the span start.
+      OpResult r;
+      r.status = OpStatus::kTransientReadError;
+      r.times.recovery_seconds =
+          profile.reread_overhead_seconds + model().ReadSeconds(from, to);
+      r.position = Position();
+      return r;
+    }
+  }
+}
+
+OpResult FaultDrive::DeliverSpan(tape::SegmentId from, tape::SegmentId to) {
+  OpResult r = inner_->DeliverSpan(from, to);
+  if (injector_ == nullptr) return r;
+  const FaultProfile& profile = injector_->profile();
+  FaultType fault = injector_->DrawReadFault(from);
+  if (fault == FaultType::kTransientReadError) {
+    // Re-read the span on the fly: one wasted pass plus overhead, then
+    // one more draw decides the delivery (a second transient error is
+    // absorbed by the stream's ECC retry at no extra charge).
+    r.times.recovery_seconds +=
+        profile.reread_overhead_seconds + model().ReadSeconds(from, to);
+    r.transient_read_errors += 1;
+    fault = injector_->DrawReadFault(from);
+  }
+  if (fault == FaultType::kPermanentMediaError) {
+    r.status = OpStatus::kPermanentMediaError;
+    r.times.recovery_seconds += profile.reread_overhead_seconds;
+  }
+  return r;
+}
+
+}  // namespace serpentine::drive

@@ -1,0 +1,60 @@
+// FaultDrive: re-hosts the seeded FaultInjector as a drive decorator.
+// Ops draw from the injector in operation order (exactly one Bernoulli
+// draw per locate / service read / span delivery, so the event stream is
+// the same pure function of (seed, op sequence) the recovering executor
+// consumed when it owned the injector); faults surface as OpStatus plus a
+// recovery-time charge, and the decorator moves the head to wherever the
+// faulted transport actually settled.
+#ifndef SERPENTINE_DRIVE_FAULT_DRIVE_H_
+#define SERPENTINE_DRIVE_FAULT_DRIVE_H_
+
+#include "serpentine/drive/drive.h"
+#include "serpentine/drive/fault_injector.h"
+
+namespace serpentine::drive {
+
+/// Decorator injecting structural faults into another drive.
+///
+/// Per-op semantics (timings from the injector's FaultProfile):
+///   * Locate — may overshoot (wasted full locate + settle, head lands
+///     near the target) or soft-reset (reset penalty + forced rewind,
+///     head at BOT). One injector draw per call; retry loops belong to
+///     the executor.
+///   * ReadSegments — may fail transiently (wasted pass + re-read
+///     overhead, head unmoved) or permanently (sticky per segment).
+///   * ScanSegments — never faults; a streaming pass's errors surface per
+///     delivered span.
+///   * DeliverSpan — draws the span's fault, absorbing one on-the-fly
+///     re-read on a transient error; only a permanent media error fails.
+class FaultDrive : public Drive {
+ public:
+  /// `inner` must outlive this decorator. `injector` is borrowed and may
+  /// be null, which makes the decorator a transparent pass-through (the
+  /// zero-fault stack executes bit-identically to the bare inner drive).
+  FaultDrive(Drive* inner, FaultInjector* injector)
+      : inner_(inner), injector_(injector) {}
+
+  OpResult Locate(tape::SegmentId dst) override;
+  OpResult ReadSegments(tape::SegmentId from, tape::SegmentId to) override;
+  OpResult ScanSegments(tape::SegmentId from, tape::SegmentId to) override {
+    return inner_->ScanSegments(from, to);
+  }
+  OpResult DeliverSpan(tape::SegmentId from, tape::SegmentId to) override;
+  OpResult Rewind() override { return inner_->Rewind(); }
+
+  tape::SegmentId Position() const override { return inner_->Position(); }
+  void SetPosition(tape::SegmentId position) override {
+    inner_->SetPosition(position);
+  }
+  const tape::LocateModel& model() const override { return inner_->model(); }
+
+  FaultInjector* injector() const { return injector_; }
+
+ private:
+  Drive* inner_;
+  FaultInjector* injector_;
+};
+
+}  // namespace serpentine::drive
+
+#endif  // SERPENTINE_DRIVE_FAULT_DRIVE_H_

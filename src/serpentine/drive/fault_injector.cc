@@ -1,4 +1,4 @@
-#include "serpentine/sim/fault_injector.h"
+#include "serpentine/drive/fault_injector.h"
 
 #include <algorithm>
 #include <cmath>
@@ -9,7 +9,7 @@
 #include "serpentine/util/check.h"
 #include "serpentine/util/status.h"
 
-namespace serpentine::sim {
+namespace serpentine::drive {
 
 const char* FaultTypeName(FaultType t) {
   switch (t) {
@@ -203,4 +203,4 @@ tape::SegmentId FaultInjector::OvershootTarget(
   return landed;
 }
 
-}  // namespace serpentine::sim
+}  // namespace serpentine::drive

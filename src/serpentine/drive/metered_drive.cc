@@ -1,0 +1,125 @@
+#include "serpentine/drive/metered_drive.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace serpentine::drive {
+
+void LatencyHistogram::Add(double seconds) {
+  ++count_;
+  total_seconds_ += seconds;
+  int b = 0;
+  if (seconds > 0.0) {
+    b = kZeroBucket + static_cast<int>(std::floor(std::log2(seconds)));
+    if (b < 0) b = 0;
+    if (b >= kBuckets) b = kBuckets - 1;
+  }
+  ++counts_[b];
+}
+
+double LatencyHistogram::BucketFloorSeconds(int b) {
+  if (b <= 0) return 0.0;
+  return std::pow(2.0, b - kZeroBucket);
+}
+
+std::string DriveMetrics::ToJson(const std::string& label) const {
+  char buf[512];
+  std::string out = "{";
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"label\":\"%s\",\"locates\":%lld,\"reads\":%lld,\"scans\":%lld,"
+      "\"deliveries\":%lld,\"rewinds\":%lld,\"segments_read\":%lld,"
+      "\"locate_seconds\":%.6f,\"read_seconds\":%.6f,"
+      "\"rewind_seconds\":%.6f,\"recovery_seconds\":%.6f,"
+      "\"transient_read_errors\":%lld,\"locate_overshoots\":%lld,"
+      "\"drive_resets\":%lld,\"permanent_errors\":%lld",
+      label.c_str(), static_cast<long long>(locates),
+      static_cast<long long>(reads), static_cast<long long>(scans),
+      static_cast<long long>(deliveries), static_cast<long long>(rewinds),
+      static_cast<long long>(segments_read), locate_seconds, read_seconds,
+      rewind_seconds, recovery_seconds,
+      static_cast<long long>(transient_read_errors),
+      static_cast<long long>(locate_overshoots),
+      static_cast<long long>(drive_resets),
+      static_cast<long long>(permanent_errors));
+  out += buf;
+  out += ",\"locate_latency\":[";
+  bool first = true;
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    if (locate_latency.bucket(b) == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s[%.6g,%lld]", first ? "" : ",",
+                  LatencyHistogram::BucketFloorSeconds(b),
+                  static_cast<long long>(locate_latency.bucket(b)));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+void MeteredDrive::Observe(const OpResult& r) {
+  metrics_.recovery_seconds += r.times.recovery_seconds;
+  metrics_.transient_read_errors += r.transient_read_errors;
+  switch (r.status) {
+    case OpStatus::kOk:
+      break;
+    case OpStatus::kTransientReadError:
+      ++metrics_.transient_read_errors;
+      break;
+    case OpStatus::kLocateOvershoot:
+      ++metrics_.locate_overshoots;
+      break;
+    case OpStatus::kDriveReset:
+      ++metrics_.drive_resets;
+      break;
+    case OpStatus::kPermanentMediaError:
+      ++metrics_.permanent_errors;
+      break;
+  }
+}
+
+OpResult MeteredDrive::Locate(tape::SegmentId dst) {
+  OpResult r = inner_->Locate(dst);
+  ++metrics_.locates;
+  metrics_.locate_seconds += r.times.locate_seconds;
+  metrics_.locate_latency.Add(r.times.total());
+  Observe(r);
+  return r;
+}
+
+OpResult MeteredDrive::ReadSegments(tape::SegmentId from, tape::SegmentId to) {
+  OpResult r = inner_->ReadSegments(from, to);
+  ++metrics_.reads;
+  metrics_.read_seconds += r.times.read_seconds;
+  metrics_.segments_read += r.segments_read;
+  metrics_.read_latency.Add(r.times.total());
+  Observe(r);
+  return r;
+}
+
+OpResult MeteredDrive::ScanSegments(tape::SegmentId from, tape::SegmentId to) {
+  OpResult r = inner_->ScanSegments(from, to);
+  ++metrics_.scans;
+  metrics_.read_seconds += r.times.read_seconds;
+  metrics_.segments_read += r.segments_read;
+  metrics_.read_latency.Add(r.times.total());
+  Observe(r);
+  return r;
+}
+
+OpResult MeteredDrive::DeliverSpan(tape::SegmentId from, tape::SegmentId to) {
+  OpResult r = inner_->DeliverSpan(from, to);
+  ++metrics_.deliveries;
+  Observe(r);
+  return r;
+}
+
+OpResult MeteredDrive::Rewind() {
+  OpResult r = inner_->Rewind();
+  ++metrics_.rewinds;
+  metrics_.rewind_seconds += r.times.rewind_seconds;
+  Observe(r);
+  return r;
+}
+
+}  // namespace serpentine::drive

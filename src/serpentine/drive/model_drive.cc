@@ -1,0 +1,42 @@
+#include "serpentine/drive/model_drive.h"
+
+#include <algorithm>
+
+#include "serpentine/util/check.h"
+
+namespace serpentine::drive {
+
+OpResult ModelDrive::Locate(tape::SegmentId dst) {
+  SERPENTINE_CHECK_GE(dst, 0);
+  SERPENTINE_CHECK_LE(dst, model_.geometry().total_segments() - 1);
+  OpResult r;
+  r.times.locate_seconds = model_.LocateSeconds(position_, dst);
+  position_ = dst;
+  r.position = position_;
+  return r;
+}
+
+OpResult ModelDrive::ReadSegments(tape::SegmentId from, tape::SegmentId to) {
+  SERPENTINE_CHECK_GE(from, 0);
+  SERPENTINE_CHECK_LE(from, to);
+  SERPENTINE_CHECK_LE(to, model_.geometry().total_segments() - 1);
+  OpResult r;
+  r.times.read_seconds = model_.ReadSeconds(from, to);
+  r.segments_read = to - from + 1;
+  // The head ends just past the span, clamped to the tape's last segment
+  // (sched::OutPosition's rule).
+  position_ = std::min<tape::SegmentId>(
+      to + 1, model_.geometry().total_segments() - 1);
+  r.position = position_;
+  return r;
+}
+
+OpResult ModelDrive::Rewind() {
+  OpResult r;
+  r.times.rewind_seconds = model_.RewindSeconds(position_);
+  position_ = 0;
+  r.position = 0;
+  return r;
+}
+
+}  // namespace serpentine::drive

@@ -1,0 +1,127 @@
+#include "serpentine/sched/registry.h"
+
+#include <cctype>
+#include <utility>
+
+#include "serpentine/sched/coalesce.h"
+
+namespace serpentine::sched {
+namespace {
+
+std::string UppercaseLabel(std::string_view name) {
+  std::string label;
+  label.reserve(name.size());
+  for (char c : name) {
+    label.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  return label;
+}
+
+}  // namespace
+
+void Registry::Register(RegistryEntry entry) {
+  if (entry.label.empty()) entry.label = UppercaseLabel(entry.name);
+  if (!entry.build) {
+    Algorithm algorithm = entry.algorithm;
+    entry.build = [algorithm](const tape::LocateModel& model,
+                              tape::SegmentId initial_position,
+                              std::vector<Request> requests,
+                              const SchedulerOptions& options) {
+      return BuildSchedule(model, initial_position, std::move(requests),
+                           algorithm, options);
+    };
+  }
+  for (RegistryEntry& existing : entries_) {
+    if (existing.name == entry.name) {
+      existing = std::move(entry);
+      return;
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const RegistryEntry* Registry::Find(std::string_view name) const {
+  for (const RegistryEntry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+serpentine::StatusOr<const RegistryEntry*> Registry::Resolve(
+    std::string_view name) const {
+  if (const RegistryEntry* entry = Find(name)) return entry;
+  std::string known;
+  for (const RegistryEntry& entry : entries_) {
+    if (!known.empty()) known += "|";
+    known += entry.name;
+  }
+  return InvalidArgumentError("unknown scheduler: \"" + std::string(name) +
+                              "\" (registered: " + known + ")");
+}
+
+serpentine::StatusOr<Schedule> Registry::Build(
+    const tape::LocateModel& model, tape::SegmentId initial_position,
+    std::vector<Request> requests, std::string_view name) const {
+  SERPENTINE_ASSIGN_OR_RETURN(const RegistryEntry* entry, Resolve(name));
+  return entry->build(model, initial_position, std::move(requests),
+                      entry->options);
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const RegistryEntry& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+const Registry& Registry::Default() {
+  static const Registry* const registry = [] {
+    auto* r = new Registry();
+    struct Base {
+      Algorithm algorithm;
+      const char* description;
+    };
+    const Base bases[] = {
+        {Algorithm::kRead, "full-tape sequential scan, then rewind"},
+        {Algorithm::kFifo, "service in arrival order"},
+        {Algorithm::kOpt, "exact optimum (n <= 12)"},
+        {Algorithm::kSort, "ascending segment number"},
+        {Algorithm::kSltf, "shortest locate time first (section-based)"},
+        {Algorithm::kScan, "elevator over (track, section)"},
+        {Algorithm::kWeave, "predefined section ordering"},
+        {Algorithm::kLoss, "greedy maximal-loss edge selection"},
+        {Algorithm::kSparseLoss, "LOSS on a sparse weave-order graph"},
+    };
+    for (const Base& base : bases) {
+      RegistryEntry entry;
+      entry.name = AlgorithmName(base.algorithm);
+      entry.algorithm = base.algorithm;
+      entry.description = base.description;
+      r->Register(std::move(entry));
+    }
+    {
+      RegistryEntry entry;
+      entry.name = "loss-coalesced";
+      entry.label = "LOSS+C";
+      entry.algorithm = Algorithm::kLoss;
+      entry.options.loss_coalesce_threshold = kDefaultCoalesceThreshold;
+      entry.description =
+          "LOSS with the paper's recommended coalescing threshold";
+      r->Register(std::move(entry));
+    }
+    {
+      RegistryEntry entry;
+      entry.name = "sltf-naive";
+      entry.label = "SLTF(n2)";
+      entry.algorithm = Algorithm::kSltf;
+      entry.options.sltf_naive = true;
+      entry.description = "textbook O(n^2) greedy SLTF";
+      r->Register(std::move(entry));
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace serpentine::sched

@@ -1,6 +1,7 @@
 #include "serpentine/sched/request.h"
 
 #include <algorithm>
+#include <string>
 
 namespace serpentine::sched {
 
@@ -26,6 +27,19 @@ const char* AlgorithmName(Algorithm a) {
       return "sparse-loss";
   }
   return "unknown";
+}
+
+serpentine::StatusOr<Algorithm> AlgorithmFromString(std::string_view name) {
+  for (Algorithm a : kAllAlgorithms) {
+    if (name == AlgorithmName(a)) return a;
+  }
+  std::string known;
+  for (Algorithm a : kAllAlgorithms) {
+    if (!known.empty()) known += "|";
+    known += AlgorithmName(a);
+  }
+  return InvalidArgumentError("unknown algorithm: \"" + std::string(name) +
+                              "\" (expected " + known + ")");
 }
 
 bool IsPermutationOfRequests(const Schedule& schedule,

@@ -3,9 +3,11 @@
 #define SERPENTINE_SCHED_REQUEST_H_
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "serpentine/tape/types.h"
+#include "serpentine/util/statusor.h"
 
 namespace serpentine::sched {
 
@@ -40,6 +42,12 @@ enum class Algorithm {
 
 /// Stable lowercase name ("loss", "sltf", ...).
 const char* AlgorithmName(Algorithm a);
+
+/// Inverse of AlgorithmName: parses "loss", "sltf", "sparse-loss", ... into
+/// the enum. InvalidArgument (listing the valid names) for anything else.
+/// The single parsing point for CLI flags, bench labels, and the scheduler
+/// registry.
+serpentine::StatusOr<Algorithm> AlgorithmFromString(std::string_view name);
 
 /// All algorithms, in the order the paper introduces them.
 inline constexpr Algorithm kAllAlgorithms[] = {

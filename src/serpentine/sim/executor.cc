@@ -3,11 +3,12 @@
 #include <cmath>
 #include <limits>
 
+#include "serpentine/drive/model_drive.h"
 #include "serpentine/util/check.h"
 
 namespace serpentine::sim {
 
-ExecutionResult ExecuteSchedule(const tape::LocateModel& drive,
+ExecutionResult ExecuteSchedule(drive::Drive& drive,
                                 const sched::Schedule& schedule,
                                 const sched::EstimateOptions& options) {
   const tape::TapeGeometry& g = drive.geometry();
@@ -15,39 +16,49 @@ ExecutionResult ExecuteSchedule(const tape::LocateModel& drive,
 
   if (schedule.full_tape_scan) {
     tape::SegmentId last = g.total_segments() - 1;
-    r.read_seconds = drive.ReadSeconds(0, last);
-    r.rewind_seconds = drive.RewindSeconds(last);
+    r.read_seconds = drive.ScanSegments(0, last).times.read_seconds;
+    r.rewind_seconds = drive.Rewind().times.rewind_seconds;
     r.total_seconds = r.read_seconds + r.rewind_seconds;
     r.segments_read = g.total_segments();
-    r.final_position = 0;
+    r.final_position = drive.Position();
     return r;
   }
 
   // An empty batch does nothing: no locates, no rewind, head untouched.
   if (schedule.order.empty()) {
+    drive.SetPosition(schedule.initial_position);
     r.final_position = schedule.initial_position;
     return r;
   }
 
-  tape::SegmentId position = schedule.initial_position;
+  drive.SetPosition(schedule.initial_position);
   for (const sched::Request& req : schedule.order) {
     SERPENTINE_CHECK_GE(req.segment, 0);
     SERPENTINE_CHECK_LE(req.last(), g.total_segments() - 1);
-    r.locate_seconds += drive.LocateSeconds(position, req.segment);
+    r.locate_seconds += drive.Locate(req.segment).times.locate_seconds;
     ++r.locates;
     if (options.include_reads) {
-      r.read_seconds += drive.ReadSeconds(req.segment, req.last());
+      r.read_seconds +=
+          drive.ReadSegments(req.segment, req.last()).times.read_seconds;
       r.segments_read += req.count;
+    } else {
+      // Estimate-only accounting still moves the head past the span.
+      drive.SetPosition(sched::OutPosition(g, req));
     }
-    position = sched::OutPosition(g, req);
   }
   if (options.rewind_at_end) {
-    r.rewind_seconds = drive.RewindSeconds(position);
-    position = 0;
+    r.rewind_seconds = drive.Rewind().times.rewind_seconds;
   }
-  r.final_position = position;
+  r.final_position = drive.Position();
   r.total_seconds = r.locate_seconds + r.read_seconds + r.rewind_seconds;
   return r;
+}
+
+ExecutionResult ExecuteSchedule(const tape::LocateModel& model,
+                                const sched::Schedule& schedule,
+                                const sched::EstimateOptions& options) {
+  drive::ModelDrive drive(model, schedule.initial_position);
+  return ExecuteSchedule(drive, schedule, options);
 }
 
 double PercentError(double estimate, double measurement) {

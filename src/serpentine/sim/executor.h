@@ -1,10 +1,11 @@
-// Schedule execution against any timing source (ideal model or
-// PhysicalDrive), with a per-phase time breakdown.
+// Schedule execution against any drive stack (ideal model, PhysicalDrive,
+// metered or fault-injecting decorators), with a per-phase time breakdown.
 #ifndef SERPENTINE_SIM_EXECUTOR_H_
 #define SERPENTINE_SIM_EXECUTOR_H_
 
 #include <cstdint>
 
+#include "serpentine/drive/drive.h"
 #include "serpentine/sched/estimator.h"
 #include "serpentine/sched/request.h"
 #include "serpentine/tape/locate_model.h"
@@ -29,12 +30,25 @@ struct ExecutionResult {
   }
 };
 
-/// Runs `schedule` against `drive` (the timing source) and returns the
-/// breakdown. With a PhysicalDrive this is the paper's "measured" execution
-/// time; with the scheduler's own model it equals the estimate. An empty
-/// schedule (no requests, not a full-tape scan) executes as a no-op and
-/// returns a zeroed result with final_position == initial_position.
-ExecutionResult ExecuteSchedule(const tape::LocateModel& drive,
+/// Runs `schedule` against `drive` (the stateful drive stack) and returns
+/// the breakdown. With a PhysicalDrive at the base this is the paper's
+/// "measured" execution time; with the scheduler's own model it equals the
+/// estimate. The head is first aligned (at zero cost) with the schedule's
+/// planned start — schedules are built from the live head position, so
+/// this is normally a no-op. An empty schedule (no requests, not a
+/// full-tape scan) executes as a no-op and returns a zeroed result with
+/// final_position == initial_position.
+///
+/// Assumes a fault-free stack: non-kOk op results are not retried (use
+/// RecoveringExecutor to run FaultDrive stacks).
+ExecutionResult ExecuteSchedule(drive::Drive& drive,
+                                const sched::Schedule& schedule,
+                                const sched::EstimateOptions& options = {});
+
+/// Model shim: executes against a throwaway ModelDrive over `model`.
+/// Bit-identical to the drive path (the ModelDrive charges exactly the
+/// model's numbers in the same order).
+ExecutionResult ExecuteSchedule(const tape::LocateModel& model,
                                 const sched::Schedule& schedule,
                                 const sched::EstimateOptions& options = {});
 

@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "serpentine/drive/fault_drive.h"
+#include "serpentine/drive/model_drive.h"
 #include "serpentine/sched/estimator.h"
 #include "serpentine/sim/recovering_executor.h"
 #include "serpentine/util/check.h"
@@ -54,10 +56,16 @@ QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
     injector->ReseedState(DeriveRand48State(config.faults.seed, config.seed));
   }
 
+  // The simulated drive: one stateful head for the whole run, with the
+  // fault process (if any) layered on top. Every batch below executes
+  // against this stack, so the head position carries across batches.
+  drive::ModelDrive base_drive(model);
+  drive::FaultDrive fault_drive(&base_drive, injector.get());
+  drive::Drive& drive = fault_drive;
+
   double clock = 0.0;
   size_t next_arrival = 0;
   std::deque<Arrival> pending;
-  tape::SegmentId head = 0;
   double batch_sum = 0.0;
 
   while (result.completed < config.total_requests) {
@@ -104,7 +112,7 @@ QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
     for (const Arrival& a : members)
       batch.push_back(sched::Request{a.segment, 1});
 
-    auto schedule = sched::BuildSchedule(model, head, batch,
+    auto schedule = sched::BuildSchedule(model, drive.Position(), batch,
                                          config.algorithm,
                                          config.scheduler_options);
     SERPENTINE_CHECK(schedule.ok());
@@ -129,15 +137,18 @@ QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
 
     if (injector != nullptr) {
       // Fault path: the recovering executor runs the batch (retries,
-      // resets, mid-batch rescheduling) and stamps completions as it goes.
+      // resets, mid-batch rescheduling) against the shared fault stack and
+      // stamps completions as it goes.
       RecoveryOptions recovery;
       recovery.retry = config.fault_retry;
       recovery.scheduler_options = config.scheduler_options;
-      RecoveringExecutor executor(model, model, injector.get(), recovery);
+      RecoveringExecutor executor(drive, model, recovery);
       double base = clock;
       if (schedule->full_tape_scan) {
         // The executor's scan starts at BOT; charge the leading locate.
-        double lead = model.LocateSeconds(head, 0);
+        // A pure model query: the repositioning before a scan never draws
+        // from the fault process.
+        double lead = model.LocateSeconds(drive.Position(), 0);
         base += lead;
         clock += lead;
         result.drive_busy_seconds += lead;
@@ -149,32 +160,30 @@ QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
           });
       clock += res.total_seconds;
       result.drive_busy_seconds += res.total_seconds;
-      head = res.final_position;
       result.fault_retries += res.retries;
       result.drive_resets += res.drive_resets;
       result.reschedules += res.reschedules;
       result.permanent_errors += res.permanent_errors;
       result.recovery_seconds += res.recovery_seconds;
     } else if (schedule->full_tape_scan) {
-      double pass_start = clock + model.LocateSeconds(head, 0);
-      double busy = model.LocateSeconds(head, 0) +
-                    model.ReadSeconds(0, g.total_segments() - 1) +
-                    model.RewindSeconds(g.total_segments() - 1);
+      double pass_start = clock + model.LocateSeconds(drive.Position(), 0);
+      // Sequenced ops: the locate must advance the head before the scan.
+      double busy = drive.Locate(0).times.locate_seconds;
+      busy += drive.ScanSegments(0, g.total_segments() - 1).times.read_seconds;
+      busy += drive.Rewind().times.rewind_seconds;
       for (const Arrival& a : members) {
         complete(a.segment, pass_start + model.ReadSeconds(0, a.segment),
                  /*ok=*/true);
       }
       clock += busy;
       result.drive_busy_seconds += busy;
-      head = 0;
     } else {
       for (const sched::Request& r : schedule->order) {
-        double step = model.LocateSeconds(head, r.segment) +
-                      model.ReadSeconds(r.segment, r.last());
+        double step = drive.Locate(r.segment).times.locate_seconds;
+        step += drive.ReadSegments(r.segment, r.last()).times.read_seconds;
         clock += step;
         result.drive_busy_seconds += step;
         complete(r.segment, clock, /*ok=*/true);
-        head = sched::OutPosition(g, r);
       }
     }
   }

@@ -21,14 +21,24 @@ sched::Algorithm RepairAlgorithm(sched::Algorithm original, size_t remaining) {
 
 }  // namespace
 
+RecoveringExecutor::RecoveringExecutor(drive::Drive& drive,
+                                       const tape::LocateModel& scheduling_model,
+                                       RecoveryOptions options)
+    : drive_(&drive),
+      scheduling_model_(scheduling_model),
+      options_(std::move(options)) {}
+
 RecoveringExecutor::RecoveringExecutor(const tape::LocateModel& drive,
                                        const tape::LocateModel& scheduling_model,
                                        FaultInjector* injector,
                                        RecoveryOptions options)
-    : drive_(drive),
-      scheduling_model_(scheduling_model),
-      injector_(injector),
-      options_(std::move(options)) {}
+    : scheduling_model_(scheduling_model),
+      options_(std::move(options)),
+      owned_base_(std::make_unique<drive::ModelDrive>(drive)),
+      owned_fault_(
+          std::make_unique<drive::FaultDrive>(owned_base_.get(), injector)) {
+  drive_ = owned_fault_.get();
+}
 
 RecoveringExecutionResult RecoveringExecutor::Execute(
     const sched::Schedule& schedule) const {
@@ -37,34 +47,26 @@ RecoveringExecutionResult RecoveringExecutor::Execute(
 
 RecoveringExecutionResult RecoveringExecutor::ExecuteFullScan(
     const sched::Schedule& schedule, const StepCallback& on_step) const {
-  const tape::TapeGeometry& g = drive_.geometry();
-  const FaultProfile* profile = injector_ ? &injector_->profile() : nullptr;
+  const tape::TapeGeometry& g = drive_->geometry();
   RecoveringExecutionResult r;
 
   tape::SegmentId last = g.total_segments() - 1;
-  r.read_seconds = drive_.ReadSeconds(0, last);
+  r.read_seconds = drive_->ScanSegments(0, last).times.read_seconds;
   r.segments_read = g.total_segments();
 
   // Faults strike the delivery of individual requested spans; the scan
-  // itself (a streaming pass) keeps going. Transient errors cost a re-read
-  // of the span on the fly; permanent errors lose the span.
+  // itself (a streaming pass) keeps going. The fault layer (if any) charges
+  // a re-read of the span for transient errors and loses the span on
+  // permanent ones — see FaultDrive::DeliverSpan.
   double recovery_before = 0.0;  // recovery accrued before each delivery
   for (const sched::Request& req : schedule.order) {
-    FaultType fault = injector_ ? injector_->DrawReadFault(req.segment)
-                                : FaultType::kNone;
-    if (fault == FaultType::kTransientReadError) {
-      double wasted = profile->reread_overhead_seconds +
-                      drive_.ReadSeconds(req.segment, req.last());
-      r.recovery_seconds += wasted;
-      recovery_before += wasted;
-      ++r.transient_read_errors;
-      ++r.retries;
-      fault = injector_->DrawReadFault(req.segment);  // the re-read
-    }
-    bool ok = fault != FaultType::kPermanentMediaError;
+    drive::OpResult op = drive_->DeliverSpan(req.segment, req.last());
+    r.recovery_seconds += op.times.recovery_seconds;
+    recovery_before += op.times.recovery_seconds;
+    r.transient_read_errors += op.transient_read_errors;
+    r.retries += op.transient_read_errors;
+    bool ok = op.ok();
     if (!ok) {
-      r.recovery_seconds += profile->reread_overhead_seconds;
-      recovery_before += profile->reread_overhead_seconds;
       ++r.permanent_errors;
       r.abandoned_segments.push_back(req.segment);
       r.segments_read -= req.count;
@@ -72,12 +74,13 @@ RecoveringExecutionResult RecoveringExecutor::ExecuteFullScan(
       ++r.requests_serviced;
     }
     if (on_step) {
-      on_step(req, drive_.ReadSeconds(0, req.segment) + recovery_before, ok);
+      on_step(req, drive_->model().ReadSeconds(0, req.segment) + recovery_before,
+              ok);
     }
   }
 
-  r.rewind_seconds = drive_.RewindSeconds(last);
-  r.final_position = 0;
+  r.rewind_seconds = drive_->Rewind().times.rewind_seconds;
+  r.final_position = drive_->Position();
   r.total_seconds =
       r.read_seconds + r.rewind_seconds + r.recovery_seconds;
   return r;
@@ -87,17 +90,19 @@ RecoveringExecutionResult RecoveringExecutor::Execute(
     const sched::Schedule& schedule, const StepCallback& on_step) const {
   if (schedule.full_tape_scan) return ExecuteFullScan(schedule, on_step);
 
-  const tape::TapeGeometry& g = drive_.geometry();
-  const FaultProfile* profile = injector_ ? &injector_->profile() : nullptr;
+  const tape::TapeGeometry& g = drive_->geometry();
   RecoveringExecutionResult r;
   r.final_position = schedule.initial_position;
-  if (schedule.order.empty()) return r;
+  if (schedule.order.empty()) {
+    drive_->SetPosition(schedule.initial_position);
+    return r;
+  }
 
   // The live plan: requests not yet serviced, in service order. Repairs
   // replace it wholesale.
   std::vector<sched::Request> queue = schedule.order;
   size_t idx = 0;
-  tape::SegmentId position = schedule.initial_position;
+  drive_->SetPosition(schedule.initial_position);
   int reschedules_left = options_.reschedule_after_fault
                              ? options_.max_reschedules
                              : 0;
@@ -116,24 +121,20 @@ RecoveringExecutionResult RecoveringExecutor::Execute(
     bool abandoned = false;
     bool reschedule_now = false;
     for (int attempt = 0;;) {
-      FaultType fault =
-          injector_ ? injector_->DrawLocateFault() : FaultType::kNone;
-      if (fault == FaultType::kNone) {
-        double t = drive_.LocateSeconds(position, req.segment);
-        r.locate_seconds += t;
-        elapsed += t;
+      drive::OpResult op = drive_->Locate(req.segment);
+      if (op.status == drive::OpStatus::kOk) {
+        r.locate_seconds += op.times.locate_seconds;
+        elapsed += op.times.locate_seconds;
         ++r.locates;
-        position = req.segment;
         located = true;
         break;
       }
-      if (fault == FaultType::kDriveReset) {
+      if (op.status == drive::OpStatus::kDriveReset) {
+        // The transport force-rewound to BOT (the drive charged the reset
+        // plus the rewind as recovery).
         ++r.drive_resets;
-        double penalty =
-            profile->reset_seconds + drive_.RewindSeconds(position);
-        r.recovery_seconds += penalty;
-        elapsed += penalty;
-        position = 0;
+        r.recovery_seconds += op.times.recovery_seconds;
+        elapsed += op.times.recovery_seconds;
         if (reschedules_left > 0 && queue.size() - idx > 1) {
           // The plan is stale: repair from BOT, current request included.
           // With nothing else left to re-plan, fall through to the retry
@@ -144,11 +145,8 @@ RecoveringExecutionResult RecoveringExecutor::Execute(
         }
       } else {  // kLocateOvershoot
         ++r.locate_overshoots;
-        double wasted = drive_.LocateSeconds(position, req.segment) +
-                        profile->overshoot_settle_seconds;
-        r.recovery_seconds += wasted;
-        elapsed += wasted;
-        position = injector_->OvershootTarget(g, req.segment);
+        r.recovery_seconds += op.times.recovery_seconds;
+        elapsed += op.times.recovery_seconds;
       }
       ++attempt;
       if (attempt >= options_.retry.max_attempts) {
@@ -165,40 +163,33 @@ RecoveringExecutionResult RecoveringExecutor::Execute(
     bool permanent_failure = false;
     if (located) {
       if (!options_.estimate.include_reads) {
-        position = sched::OutPosition(g, req);
+        drive_->SetPosition(sched::OutPosition(g, req));
         ++r.requests_serviced;
         if (on_step) on_step(req, elapsed, true);
       } else {
         for (int attempt = 0;;) {
-          FaultType fault = injector_
-                                ? injector_->DrawReadFault(req.segment)
-                                : FaultType::kNone;
-          if (fault == FaultType::kNone) {
-            double t = drive_.ReadSeconds(req.segment, req.last());
-            r.read_seconds += t;
-            elapsed += t;
+          drive::OpResult op = drive_->ReadSegments(req.segment, req.last());
+          if (op.status == drive::OpStatus::kOk) {
+            r.read_seconds += op.times.read_seconds;
+            elapsed += op.times.read_seconds;
             r.segments_read += req.count;
-            position = sched::OutPosition(g, req);
             ++r.requests_serviced;
             if (on_step) on_step(req, elapsed, true);
             break;
           }
-          if (fault == FaultType::kPermanentMediaError) {
+          if (op.status == drive::OpStatus::kPermanentMediaError) {
             ++r.permanent_errors;
-            double penalty = profile->reread_overhead_seconds;
-            r.recovery_seconds += penalty;
-            elapsed += penalty;
+            r.recovery_seconds += op.times.recovery_seconds;
+            elapsed += op.times.recovery_seconds;
             abandoned = true;
             permanent_failure = true;
             break;
           }
           // Transient: the failed pass streamed the span for nothing and
-          // the drive repositioned internally.
+          // the drive repositioned internally (head back at the span start).
           ++r.transient_read_errors;
-          double wasted = profile->reread_overhead_seconds +
-                          drive_.ReadSeconds(req.segment, req.last());
-          r.recovery_seconds += wasted;
-          elapsed += wasted;
+          r.recovery_seconds += op.times.recovery_seconds;
+          elapsed += op.times.recovery_seconds;
           ++attempt;
           if (attempt >= options_.retry.max_attempts) {
             abandoned = true;
@@ -234,12 +225,14 @@ RecoveringExecutionResult RecoveringExecutor::Execute(
       if (remaining.size() > 1) {
         sched::Algorithm algorithm =
             RepairAlgorithm(schedule.algorithm, remaining.size());
-        auto repaired =
-            sched::BuildSchedule(scheduling_model_, position, remaining,
-                                 algorithm, options_.scheduler_options);
+        auto repaired = sched::BuildSchedule(scheduling_model_,
+                                             drive_->Position(), remaining,
+                                             algorithm,
+                                             options_.scheduler_options);
         if (!repaired.ok()) {
-          repaired = sched::BuildSchedule(scheduling_model_, position,
-                                          remaining, sched::Algorithm::kLoss,
+          repaired = sched::BuildSchedule(scheduling_model_,
+                                          drive_->Position(), remaining,
+                                          sched::Algorithm::kLoss,
                                           options_.scheduler_options);
         }
         if (repaired.ok() && !repaired->full_tape_scan) {
@@ -255,11 +248,10 @@ RecoveringExecutionResult RecoveringExecutor::Execute(
   }
 
   if (options_.estimate.rewind_at_end) {
-    r.rewind_seconds = drive_.RewindSeconds(position);
+    r.rewind_seconds = drive_->Rewind().times.rewind_seconds;
     elapsed += r.rewind_seconds;
-    position = 0;
   }
-  r.final_position = position;
+  r.final_position = drive_->Position();
   r.total_seconds = r.locate_seconds + r.read_seconds + r.rewind_seconds +
                     r.recovery_seconds;
   return r;

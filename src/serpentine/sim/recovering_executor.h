@@ -1,6 +1,7 @@
-// Fault-tolerant schedule execution: runs a sched::Schedule against a drive
-// while a FaultInjector perturbs it, recovering with a bounded
-// retry-with-backoff policy and repairing the plan mid-batch.
+// Fault-tolerant schedule execution: runs a sched::Schedule against a
+// drive stack while faults (a FaultDrive decorator) perturb it, recovering
+// with a bounded retry-with-backoff policy and repairing the plan
+// mid-batch.
 //
 // Recovery semantics (see docs/robustness.md):
 //   * transient read errors  -> re-read the span (retryable, backoff);
@@ -16,16 +17,21 @@
 //                               rescheduled from the current position;
 //   * retry exhaustion       -> the request is abandoned and reported.
 //
-// With no injector (or an all-zero FaultProfile) the executor reproduces
-// sim::ExecuteSchedule bit for bit, so the paper's figures are unchanged by
-// default; a test pins this golden equality.
+// On a fault-free stack (no FaultDrive, a null injector, or an all-zero
+// FaultProfile) the executor reproduces sim::ExecuteSchedule bit for bit,
+// so the paper's figures are unchanged by default; a test pins this golden
+// equality.
 #ifndef SERPENTINE_SIM_RECOVERING_EXECUTOR_H_
 #define SERPENTINE_SIM_RECOVERING_EXECUTOR_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "serpentine/drive/drive.h"
+#include "serpentine/drive/fault_drive.h"
+#include "serpentine/drive/model_drive.h"
 #include "serpentine/sched/estimator.h"
 #include "serpentine/sched/request.h"
 #include "serpentine/sched/scheduler.h"
@@ -79,9 +85,16 @@ struct RecoveringExecutionResult : ExecutionResult {
 /// Executes schedules under fault injection with bounded recovery.
 class RecoveringExecutor {
  public:
-  /// `drive` is the timing source (possibly a noisy PhysicalDrive);
-  /// `scheduling_model` is the believed model consulted when rescheduling
-  /// mid-batch (schedulers must never consult the physical drive directly);
+  /// `drive` is the stateful execution stack — typically
+  /// FaultDrive(ModelDrive(model)), but any stack works and a stack with
+  /// no fault layer simply never needs recovery. `scheduling_model` is the
+  /// believed model consulted when rescheduling mid-batch (schedulers must
+  /// never consult the physical drive directly).
+  RecoveringExecutor(drive::Drive& drive,
+                     const tape::LocateModel& scheduling_model,
+                     RecoveryOptions options = {});
+
+  /// Model shim: builds and owns a FaultDrive(ModelDrive(`drive`)) stack.
   /// `injector` may be null, which disables fault injection entirely.
   RecoveringExecutor(const tape::LocateModel& drive,
                      const tape::LocateModel& scheduling_model,
@@ -106,10 +119,14 @@ class RecoveringExecutor {
   RecoveringExecutionResult ExecuteFullScan(const sched::Schedule& schedule,
                                             const StepCallback& on_step) const;
 
-  const tape::LocateModel& drive_;
+  drive::Drive* drive_;  // borrowed or owned_fault_/owned_base_ below
   const tape::LocateModel& scheduling_model_;
-  FaultInjector* injector_;
   RecoveryOptions options_;
+  // Backing stack for the model-based shim constructors. Execute() is
+  // const but drives are stateful; the stack is rebuilt per-Execute state
+  // anyway (position is realigned), so mutation through these is benign.
+  std::unique_ptr<drive::ModelDrive> owned_base_;
+  std::unique_ptr<drive::FaultDrive> owned_fault_;
 };
 
 }  // namespace serpentine::sim

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 
-#include "serpentine/sched/estimator.h"
+#include "serpentine/drive/model_drive.h"
+#include "serpentine/sim/executor.h"
 #include "serpentine/util/check.h"
 
 namespace serpentine::store {
@@ -62,12 +63,14 @@ serpentine::StatusOr<StripedBatchResult> StripedVolume::ExecuteBatch(
         sched::Schedule schedule,
         sched::BuildSchedule(*models_[d], positions[d], shares[d],
                              algorithm, options));
-    result.drive_seconds[d] =
-        sched::EstimateScheduleSeconds(*models_[d], schedule);
-    if (!schedule.order.empty()) {
-      positions[d] = sched::OutPosition(models_[d]->geometry(),
-                                        schedule.order.back());
-    }
+    // Each drive runs its share on its own stateful head; the executor's
+    // final position feeds the next batch (full scans end rewound only in
+    // their own accounting — an empty order leaves the head untouched,
+    // matching the scan's net-zero head motion here).
+    drive::ModelDrive head(*models_[d], positions[d]);
+    sim::ExecutionResult executed = sim::ExecuteSchedule(head, schedule);
+    result.drive_seconds[d] = executed.total_seconds;
+    if (!schedule.order.empty()) positions[d] = executed.final_position;
     result.makespan_seconds =
         std::max(result.makespan_seconds, result.drive_seconds[d]);
     result.total_drive_seconds += result.drive_seconds[d];

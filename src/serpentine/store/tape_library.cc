@@ -70,7 +70,7 @@ serpentine::Status TapeLibrary::Mount(int tape) {
     Spend(library_timings_.robot_exchange_seconds +
           library_timings_.load_seconds);
     mounted_ = tape;
-    head_ = 0;
+    drive_ = std::make_unique<drive::ModelDrive>(*models_[tape]);
     ++total_mounts_;
     return OkStatus();
   }
@@ -82,11 +82,11 @@ serpentine::Status TapeLibrary::Mount(int tape) {
 serpentine::Status TapeLibrary::Unmount() {
   SERPENTINE_RETURN_IF_ERROR(AnnotateStatus(RequireMounted(), "Unmount"));
   // Single-reel cartridges must rewind to eject (paper footnote 5).
-  Spend(models_[mounted_]->RewindSeconds(head_));
+  Spend(drive_->Rewind().times.rewind_seconds);
   Spend(library_timings_.unload_seconds +
         library_timings_.robot_exchange_seconds);
   mounted_ = -1;
-  head_ = 0;
+  drive_.reset();
   return OkStatus();
 }
 
@@ -99,9 +99,8 @@ serpentine::StatusOr<double> TapeLibrary::LocateTo(tape::SegmentId segment) {
         " off tape " + std::to_string(mounted_) + " (capacity " +
         std::to_string(model.geometry().total_segments()) + ")");
   }
-  double t = model.LocateSeconds(head_, segment);
+  double t = drive_->Locate(segment).times.locate_seconds;
   Spend(t);
-  head_ = segment;
   return t;
 }
 
@@ -112,18 +111,18 @@ serpentine::StatusOr<double> TapeLibrary::ReadForward(int64_t count) {
                                 std::to_string(count));
   }
   const auto& model = *models_[mounted_];
-  tape::SegmentId last = head_ + count - 1;
+  tape::SegmentId head = drive_->Position();
+  tape::SegmentId last = head + count - 1;
   if (last >= model.geometry().total_segments()) {
     return OutOfRangeError(
         "ReadForward: " + std::to_string(count) + " segments from " +
-        std::to_string(head_) + " run off the end of tape " +
+        std::to_string(head) + " run off the end of tape " +
         std::to_string(mounted_) + " (capacity " +
         std::to_string(model.geometry().total_segments()) + ")");
   }
-  double t = model.ReadSeconds(head_, last);
+  // The drive clamps the head just past the span (sched::OutPosition rule).
+  double t = drive_->ReadSegments(head, last).times.read_seconds;
   Spend(t);
-  head_ = std::min<tape::SegmentId>(last + 1,
-                                    model.geometry().total_segments() - 1);
   return t;
 }
 
@@ -137,10 +136,11 @@ serpentine::StatusOr<double> TapeLibrary::WriteForward(int64_t count) {
 
 serpentine::StatusOr<double> TapeLibrary::FullScan() {
   SERPENTINE_RETURN_IF_ERROR(AnnotateStatus(RequireMounted(), "FullScan"));
-  const auto& model = *models_[mounted_];
-  double t = model.LocateSeconds(head_, 0) + model.FullReadAndRewindSeconds();
+  // The leading locate leaves the head at BOT, which is also where the
+  // read-and-rewind pass ends, so the drive position stays consistent.
+  double t = drive_->Locate(0).times.locate_seconds;
+  t += models_[mounted_]->FullReadAndRewindSeconds();
   Spend(t);
-  head_ = 0;
   return t;
 }
 

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "serpentine/drive/model_drive.h"
 #include "serpentine/sim/fault_injector.h"
 #include "serpentine/tape/locate_model.h"
 #include "serpentine/util/retry.h"
@@ -48,8 +49,17 @@ class TapeLibrary {
   /// Index of the mounted cartridge, or -1.
   int mounted() const { return mounted_; }
 
+  /// The mounted cartridge as a stateful drive::Drive (head position and
+  /// per-op timing), or nullptr when no cartridge is mounted. Callers may
+  /// stack decorators on it or hand it to an executor; its motion does NOT
+  /// advance the library clock — use the LocateTo/ReadForward wrappers for
+  /// clocked operations.
+  drive::Drive* mounted_drive() { return drive_.get(); }
+
   /// Current head position on the mounted tape.
-  tape::SegmentId head_position() const { return head_; }
+  tape::SegmentId head_position() const {
+    return drive_ != nullptr ? drive_->Position() : 0;
+  }
 
   /// Virtual time in seconds since construction.
   double now() const { return clock_seconds_; }
@@ -108,7 +118,9 @@ class TapeLibrary {
   std::vector<std::unique_ptr<tape::Dlt4000LocateModel>> models_;
   LibraryTimings library_timings_;
   int mounted_ = -1;
-  tape::SegmentId head_ = 0;
+  /// Head of the mounted cartridge; null while unmounted. Fresh mounts
+  /// start at BOT (single-reel cartridges eject rewound).
+  std::unique_ptr<drive::ModelDrive> drive_;
   double clock_seconds_ = 0.0;
   double busy_seconds_ = 0.0;
   int64_t total_mounts_ = 0;

@@ -12,10 +12,28 @@
 # engine (ParallelFor / ShardCount); the address pass catches lifetime
 # bugs in the fault-injection and recovery paths, which exercise
 # rescheduling mid-batch.
+#
+# When clang-tidy is on PATH, a lint pass (modernize + bugprone) runs
+# first over the drive and scheduler layers; it is skipped silently-ish
+# on machines without clang-tidy so the sanitizer passes stay runnable
+# everywhere.
 set -eu
 
 CONFIGS="${*:-plain address thread}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== lint: clang-tidy over src/serpentine/drive/ and sched/ =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  tidy_dir="build-ci-tidy"
+  cmake -B "$tidy_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  clang-tidy -p "$tidy_dir" \
+    --checks='-*,modernize-*,bugprone-*,-modernize-use-trailing-return-type' \
+    --warnings-as-errors='bugprone-*' \
+    src/serpentine/drive/*.cc src/serpentine/sched/*.cc
+  echo "== lint: OK =="
+else
+  echo "clang-tidy not on PATH; skipping the lint pass"
+fi
 
 for config in $CONFIGS; do
   case "$config" in

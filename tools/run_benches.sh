@@ -40,6 +40,11 @@ SERPENTINE_SCALE=smoke "$BUILD_DIR/bench/fault_sweep" \
 tail -n 2 "$OUT_DIR/BENCH_fault_sweep.txt"
 
 echo
-echo "wrote $OUT_DIR/BENCH_sched.json, $OUT_DIR/BENCH_sim.jsonl, and" \
-     "$OUT_DIR/BENCH_fault_sweep.txt" \
+echo "== drive ops: MeteredDrive op counts per algorithm =="
+SERPENTINE_DRIVE_JSON="$OUT_DIR/BENCH_drive_ops.json" \
+  "$BUILD_DIR/bench/drive_metrics"
+
+echo
+echo "wrote $OUT_DIR/BENCH_sched.json, $OUT_DIR/BENCH_sim.jsonl," \
+     "$OUT_DIR/BENCH_fault_sweep.txt, and $OUT_DIR/BENCH_drive_ops.json" \
      "(threads: ${SERPENTINE_THREADS:-auto}, scale: ${SERPENTINE_SCALE:-default})"

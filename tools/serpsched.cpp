@@ -8,8 +8,10 @@
 // comparison against FIFO service.
 //
 // Options:
-//   --algorithm=NAME   read|fifo|sort|opt|sltf|scan|weave|loss|sparse-loss
-//                      (default loss)
+//   --algorithm=NAME   any registered scheduler (default loss):
+//                      read|fifo|sort|opt|sltf|scan|weave|loss|sparse-loss
+//                      plus variants loss-coalesced, sltf-naive
+//                      (see sched/registry.h)
 //   --drive=NAME       dlt4000|dlt7000|ibm3590 (default dlt4000)
 //   --tape-seed=N      cartridge identity (default 1)
 //   --initial=SEG      starting head position (default 0 = BOT)
@@ -33,8 +35,12 @@
 #include <string>
 #include <vector>
 
+#include "serpentine/drive/fault_drive.h"
+#include "serpentine/drive/metered_drive.h"
+#include "serpentine/drive/model_drive.h"
 #include "serpentine/sched/estimator.h"
 #include "serpentine/sched/local_search.h"
+#include "serpentine/sched/registry.h"
 #include "serpentine/sched/scheduler.h"
 #include "serpentine/sim/fault_injector.h"
 #include "serpentine/sim/recovering_executor.h"
@@ -88,13 +94,6 @@ bool ParseFlag(const char* arg, const char* name, const char** value) {
     return true;
   }
   return false;
-}
-
-StatusOr<sched::Algorithm> AlgorithmByName(const std::string& name) {
-  for (sched::Algorithm a : sched::kAllAlgorithms) {
-    if (name == sched::AlgorithmName(a)) return a;
-  }
-  return InvalidArgumentError("unknown algorithm: " + name);
 }
 
 }  // namespace
@@ -154,9 +153,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto algorithm = AlgorithmByName(args.algorithm);
-  if (!algorithm.ok()) {
-    std::fprintf(stderr, "%s\n", algorithm.status().ToString().c_str());
+  auto entry = sched::Registry::Default().Resolve(args.algorithm);
+  if (!entry.ok()) {
+    std::fprintf(stderr, "%s\n", entry.status().ToString().c_str());
     return 2;
   }
 
@@ -200,8 +199,8 @@ int main(int argc, char** argv) {
   // and both estimates below share each pair's single plan.
   tape::CachedLocateModel cached(
       model, static_cast<int64_t>(requests.size()) * 16);
-  auto schedule =
-      sched::BuildSchedule(cached, args.initial, requests, *algorithm);
+  auto schedule = (*entry)->build(cached, args.initial, requests,
+                                  (*entry)->options);
   if (!schedule.ok()) {
     std::fprintf(stderr, "scheduling failed: %s\n",
                  schedule.status().ToString().c_str());
@@ -264,7 +263,12 @@ int main(int argc, char** argv) {
     sim::FaultInjector injector(*profile);
     sim::RecoveryOptions recovery;
     recovery.estimate.rewind_at_end = args.rewind;
-    sim::RecoveringExecutor executor(model, cached, &injector, recovery);
+    // The execution stack: ideal drive, fault process, op meter on top.
+    // Schedule repairs still consult the cached believed model.
+    drive::ModelDrive base(model);
+    drive::FaultDrive faulty(&base, &injector);
+    drive::MeteredDrive metered(&faulty);
+    sim::RecoveringExecutor executor(metered, cached, recovery);
     sim::RecoveringExecutionResult res = executor.Execute(*schedule);
     std::printf("# fault execution (%s, seed %d): %.1f s "
                 "(%.1f s recovery, %.2fx estimate)\n",
@@ -283,6 +287,13 @@ int main(int argc, char** argv) {
                 static_cast<long long>(res.retries),
                 static_cast<long long>(res.reschedules),
                 res.abandoned_segments.size());
+    const drive::DriveMetrics& m = metered.metrics();
+    std::printf("#   drive ops: %lld locates, %lld reads, %lld rewinds "
+                "(%lld segments transferred), busy %.1f s\n",
+                static_cast<long long>(m.locates),
+                static_cast<long long>(m.reads),
+                static_cast<long long>(m.rewinds),
+                static_cast<long long>(m.segments_read), m.busy_seconds());
   }
   return 0;
 }
