@@ -11,6 +11,9 @@
 
 #include "serpentine/drive/metered_drive.h"
 #include "serpentine/drive/model_drive.h"
+#include "serpentine/drive/tracing_drive.h"
+#include "serpentine/obs/metrics.h"
+#include "serpentine/obs/trace.h"
 #include "serpentine/sched/registry.h"
 #include "serpentine/sched/scheduler.h"
 #include "serpentine/sim/experiment.h"
@@ -81,6 +84,59 @@ class TimingRecorder {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Opt-in observability for a bench run: when SERPENTINE_TRACE and/or
+/// SERPENTINE_METRICS_JSON name output files, installs an ambient
+/// TraceRecorder / MetricsRegistry for the session and writes them out on
+/// destruction. With neither variable set this is inert and the bench
+/// runs on the disabled (near-free) path. Construct one at the top of
+/// main() in benches whose trace volume is bounded (per-op spans scale
+/// with drive ops — see docs/observability.md).
+class ObsSession {
+ public:
+  ObsSession() {
+    const char* trace = std::getenv("SERPENTINE_TRACE");
+    if (trace != nullptr && trace[0] != '\0') {
+      trace_path_ = trace;
+      obs::TraceRecorder::SetActive(&recorder_);
+    }
+    const char* metrics = std::getenv("SERPENTINE_METRICS_JSON");
+    if (metrics != nullptr && metrics[0] != '\0') {
+      metrics_path_ = metrics;
+      obs::MetricsRegistry::SetActive(&registry_);
+    }
+  }
+
+  ~ObsSession() {
+    if (!trace_path_.empty()) {
+      auto status = recorder_.WriteJson(trace_path_);
+      if (status.ok()) {
+        std::printf("wrote %lld trace events to %s\n",
+                    static_cast<long long>(recorder_.event_count()),
+                    trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      }
+    }
+    if (!metrics_path_.empty()) {
+      auto status = registry_.WriteJson(metrics_path_);
+      if (status.ok()) {
+        std::printf("wrote metrics snapshot to %s\n", metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      }
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  obs::TraceRecorder recorder_;
+  obs::MetricsRegistry registry_;
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
 /// The tape the experiments run on ("tape A"): DLT4000 geometry, seed 1.
 inline tape::Dlt4000LocateModel MakeTapeAModel() {
   return tape::Dlt4000LocateModel(
@@ -95,28 +151,36 @@ inline tape::Dlt4000LocateModel MakeTapeBModel() {
       tape::Dlt4000Timings());
 }
 
-/// A ready-to-run metered drive stack over its own model copy:
-/// MeteredDrive(ModelDrive(model)). Hoists the model/tape boilerplate every
-/// drive-consuming bench repeats — construct one, hand drive() to an
-/// executor, read metrics() after.
+/// A ready-to-run drive stack over its own model copy:
+/// TracingDrive(MeteredDrive(ModelDrive(model))). Hoists the model/tape
+/// boilerplate every drive-consuming bench repeats — construct one, hand
+/// drive() to an executor, read metrics() after. The tracing layer emits
+/// per-op spans only when an ObsSession (or other ambient recorder) is
+/// active; otherwise it costs one branch per op.
 class BenchDriveStack {
  public:
   explicit BenchDriveStack(tape::Dlt4000LocateModel model)
-      : model_(std::move(model)), base_(model_), metered_(&base_) {}
+      : model_(std::move(model)),
+        base_(model_),
+        metered_(&base_),
+        tracing_(&metered_) {}
 
-  // base_/metered_ hold pointers into this object; copying or moving would
-  // leave them dangling. Factory returns rely on guaranteed elision.
+  // base_/metered_/tracing_ hold pointers into this object; copying or
+  // moving would leave them dangling. Factory returns rely on guaranteed
+  // elision.
   BenchDriveStack(const BenchDriveStack&) = delete;
   BenchDriveStack& operator=(const BenchDriveStack&) = delete;
 
-  drive::Drive& drive() { return metered_; }
+  drive::Drive& drive() { return tracing_; }
   drive::MeteredDrive& metered() { return metered_; }
+  drive::TracingDrive& tracing() { return tracing_; }
   const tape::Dlt4000LocateModel& model() const { return model_; }
 
  private:
   tape::Dlt4000LocateModel model_;
   drive::ModelDrive base_;
   drive::MeteredDrive metered_;
+  drive::TracingDrive tracing_;
 };
 
 /// The standard bench drives, ready to execute schedules on tape A/B.

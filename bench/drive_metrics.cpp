@@ -20,6 +20,8 @@
 #include "serpentine/drive/fault_injector.h"
 #include "serpentine/drive/metered_drive.h"
 #include "serpentine/drive/model_drive.h"
+#include "serpentine/drive/tracing_drive.h"
+#include "serpentine/obs/metrics.h"
 #include "serpentine/sim/executor.h"
 #include "serpentine/sim/recovering_executor.h"
 #include "serpentine/util/lrand48.h"
@@ -49,11 +51,18 @@ void AddRow(Table& table, const std::string& label,
   if (json != nullptr) {
     std::fprintf(json, "%s\n", m.ToJson(label).c_str());
   }
+  if (obs::MetricsRegistry* registry = obs::MetricsRegistry::active()) {
+    m.PublishTo(*registry, "drive." + label);
+  }
 }
 
 }  // namespace
 
 int main() {
+  // Opt-in tracing/metrics for the whole run via SERPENTINE_TRACE /
+  // SERPENTINE_METRICS_JSON (tools/run_benches.sh sets both to produce
+  // its sample artifacts).
+  bench::ObsSession obs_session;
   bench::PrintHeader(
       "drive op accounting",
       "Drive operations per algorithm for one batch (N = 192, tape A):\n"
@@ -103,9 +112,10 @@ int main() {
     drive::ModelDrive base(model);
     drive::FaultDrive faulty(&base, &injector);
     drive::MeteredDrive metered(&faulty);
+    drive::TracingDrive traced(&metered);
     sim::RecoveryOptions recovery;
     recovery.estimate.rewind_at_end = true;
-    sim::RecoveringExecutor executor(metered, model, recovery);
+    sim::RecoveringExecutor executor(traced, model, recovery);
     sim::RecoveringExecutionResult res = executor.Execute(*schedule);
     AddRow(table, "LOSS+heavy-faults", metered.metrics(), res.total_seconds,
            json);

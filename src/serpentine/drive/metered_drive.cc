@@ -1,26 +1,10 @@
 #include "serpentine/drive/metered_drive.h"
 
-#include <cmath>
 #include <cstdio>
 
+#include "serpentine/obs/metrics.h"
+
 namespace serpentine::drive {
-
-void LatencyHistogram::Add(double seconds) {
-  ++count_;
-  total_seconds_ += seconds;
-  int b = 0;
-  if (seconds > 0.0) {
-    b = kZeroBucket + static_cast<int>(std::floor(std::log2(seconds)));
-    if (b < 0) b = 0;
-    if (b >= kBuckets) b = kBuckets - 1;
-  }
-  ++counts_[b];
-}
-
-double LatencyHistogram::BucketFloorSeconds(int b) {
-  if (b <= 0) return 0.0;
-  return std::pow(2.0, b - kZeroBucket);
-}
 
 std::string DriveMetrics::ToJson(const std::string& label) const {
   char buf[512];
@@ -55,6 +39,27 @@ std::string DriveMetrics::ToJson(const std::string& label) const {
   }
   out += "]}";
   return out;
+}
+
+void DriveMetrics::PublishTo(obs::MetricsRegistry& registry,
+                             const std::string& prefix) const {
+  registry.counter(prefix + ".locates").Increment(locates);
+  registry.counter(prefix + ".reads").Increment(reads);
+  registry.counter(prefix + ".scans").Increment(scans);
+  registry.counter(prefix + ".deliveries").Increment(deliveries);
+  registry.counter(prefix + ".rewinds").Increment(rewinds);
+  registry.counter(prefix + ".segments_read").Increment(segments_read);
+  registry.counter(prefix + ".transient_read_errors")
+      .Increment(transient_read_errors);
+  registry.counter(prefix + ".locate_overshoots").Increment(locate_overshoots);
+  registry.counter(prefix + ".drive_resets").Increment(drive_resets);
+  registry.counter(prefix + ".permanent_errors").Increment(permanent_errors);
+  registry.gauge(prefix + ".locate_seconds").Set(locate_seconds);
+  registry.gauge(prefix + ".read_seconds").Set(read_seconds);
+  registry.gauge(prefix + ".rewind_seconds").Set(rewind_seconds);
+  registry.gauge(prefix + ".recovery_seconds").Set(recovery_seconds);
+  registry.histogram(prefix + ".locate_latency").Merge(locate_latency);
+  registry.histogram(prefix + ".read_latency").Merge(read_latency);
 }
 
 void MeteredDrive::Observe(const OpResult& r) {

@@ -11,30 +11,18 @@
 #include <string>
 
 #include "serpentine/drive/drive.h"
+#include "serpentine/obs/histogram.h"
+
+namespace serpentine::obs {
+class MetricsRegistry;
+}  // namespace serpentine::obs
 
 namespace serpentine::drive {
 
-/// Log₂-bucketed latency histogram for op durations. Bucket b holds
-/// durations in [2^(b-kZeroBucket), 2^(b-kZeroBucket+1)) seconds; the
-/// first and last buckets absorb the tails. Covers ~1 ms to ~9 h.
-class LatencyHistogram {
- public:
-  static constexpr int kBuckets = 26;
-  static constexpr int kZeroBucket = 10;  // bucket 10 = [1, 2) s
-
-  void Add(double seconds);
-
-  int64_t count() const { return count_; }
-  double total_seconds() const { return total_seconds_; }
-  int64_t bucket(int b) const { return counts_[b]; }
-  /// Lower bound of bucket `b` in seconds (0 for the underflow bucket).
-  static double BucketFloorSeconds(int b);
-
- private:
-  int64_t counts_[kBuckets] = {};
-  int64_t count_ = 0;
-  double total_seconds_ = 0.0;
-};
+/// The log₂-bucket latency histogram, now hosted in obs/ (this alias keeps
+/// the original drive-layer spelling working; obs::Histogram adds the
+/// quantile/merge API the metrics registry exports).
+using LatencyHistogram = obs::Histogram;
 
 /// Everything a MeteredDrive has observed. Phase-seconds accumulate in op
 /// order, so for a fault-free execution they equal the corresponding
@@ -74,6 +62,17 @@ struct DriveMetrics {
   /// and the non-empty histogram buckets — the op-count record
   /// tools/run_benches.sh writes next to its timing JSONL.
   std::string ToJson(const std::string& label) const;
+
+  /// Publishes every field into `registry` under `prefix`: op counts and
+  /// fault counts as counters ("<prefix>.locates", ...; added, so repeated
+  /// publishes accumulate), phase seconds as gauges
+  /// ("<prefix>.locate_seconds", ...; overwritten), and the latency
+  /// histograms merged into "<prefix>.locate_latency" /
+  /// "<prefix>.read_latency" — the bridge from a drive stack's meters to
+  /// the --metrics-json snapshot; see docs/observability.md for the
+  /// catalog.
+  void PublishTo(obs::MetricsRegistry& registry,
+                 const std::string& prefix) const;
 };
 
 /// Pass-through decorator that meters every operation of the wrapped

@@ -1,0 +1,86 @@
+#include "serpentine/drive/tracing_drive.h"
+
+#include <cstdio>
+#include <string>
+
+#include "serpentine/obs/trace.h"
+
+namespace serpentine::drive {
+namespace {
+
+constexpr const char* kCategory = "drive";
+
+}  // namespace
+
+void TracingDrive::Emit(const char* op, const OpResult& r) {
+  double start = clock_seconds_;
+  double total = r.times.total();
+  clock_seconds_ = start + total;
+
+  obs::TraceRecorder* recorder = obs::TraceRecorder::active();
+  if (recorder == nullptr) return;
+
+  char args[256];
+  std::snprintf(args, sizeof(args),
+                "{\"status\":\"%s\",\"position\":%lld,\"segments_read\":%lld,"
+                "\"locate_s\":%.6f,\"read_s\":%.6f,\"rewind_s\":%.6f,"
+                "\"recovery_s\":%.6f}",
+                OpStatusName(r.status), static_cast<long long>(r.position),
+                static_cast<long long>(r.segments_read),
+                r.times.locate_seconds, r.times.read_seconds,
+                r.times.rewind_seconds, r.times.recovery_seconds);
+  recorder->CompleteEvent(obs::TraceClock::kVirtual, kCategory, op, start,
+                          clock_seconds_, args);
+
+  // Per-phase child spans, laid out sequentially inside the op span in the
+  // order the accounting charges them. Nested by construction: the
+  // cumulative boundaries are bracketed by [start, start + total] and the
+  // seconds→µs conversion is monotone.
+  double t = start;
+  struct Phase {
+    const char* name;
+    double seconds;
+  } phases[] = {{"locate", r.times.locate_seconds},
+                {"read", r.times.read_seconds},
+                {"rewind", r.times.rewind_seconds},
+                {"recovery", r.times.recovery_seconds}};
+  for (const Phase& phase : phases) {
+    if (phase.seconds <= 0.0) continue;
+    recorder->CompleteEvent(obs::TraceClock::kVirtual, kCategory,
+                            std::string(op) + ":" + phase.name, t,
+                            t + phase.seconds);
+    t += phase.seconds;
+  }
+}
+
+OpResult TracingDrive::Locate(tape::SegmentId dst) {
+  OpResult r = inner_->Locate(dst);
+  Emit("locate", r);
+  return r;
+}
+
+OpResult TracingDrive::ReadSegments(tape::SegmentId from, tape::SegmentId to) {
+  OpResult r = inner_->ReadSegments(from, to);
+  Emit("read", r);
+  return r;
+}
+
+OpResult TracingDrive::ScanSegments(tape::SegmentId from, tape::SegmentId to) {
+  OpResult r = inner_->ScanSegments(from, to);
+  Emit("scan", r);
+  return r;
+}
+
+OpResult TracingDrive::DeliverSpan(tape::SegmentId from, tape::SegmentId to) {
+  OpResult r = inner_->DeliverSpan(from, to);
+  Emit("deliver", r);
+  return r;
+}
+
+OpResult TracingDrive::Rewind() {
+  OpResult r = inner_->Rewind();
+  Emit("rewind", r);
+  return r;
+}
+
+}  // namespace serpentine::drive

@@ -1,0 +1,56 @@
+#include "serpentine/obs/histogram.h"
+
+#include <cmath>
+
+namespace serpentine::obs {
+
+void Histogram::Add(double seconds) {
+  ++count_;
+  total_seconds_ += seconds;
+  int b = 0;
+  if (seconds > 0.0) {
+    b = kZeroBucket + static_cast<int>(std::floor(std::log2(seconds)));
+    if (b < 0) b = 0;
+    if (b >= kBuckets) b = kBuckets - 1;
+  }
+  ++counts_[b];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  count_ += other.count_;
+  total_seconds_ += other.total_seconds_;
+}
+
+double Histogram::BucketFloorSeconds(int b) {
+  if (b <= 0) return 0.0;
+  return std::pow(2.0, b - kZeroBucket);
+}
+
+double Histogram::BucketCeilSeconds(int b) {
+  return std::pow(2.0, b - kZeroBucket + 1);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; q = 0 means the first sample.
+  int64_t rank = static_cast<int64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    if (seen + counts_[b] >= rank) {
+      double lo = BucketFloorSeconds(b);
+      double hi = BucketCeilSeconds(b);
+      double frac = static_cast<double>(rank - seen) /
+                    static_cast<double>(counts_[b]);
+      return lo + frac * (hi - lo);
+    }
+    seen += counts_[b];
+  }
+  return BucketCeilSeconds(kBuckets - 1);
+}
+
+}  // namespace serpentine::obs

@@ -1,0 +1,54 @@
+// Log₂-bucketed duration histogram: the one histogram shape used across
+// the repo. Grown out of MeteredDrive's LatencyHistogram (drive/ now
+// aliases this class) and extended with the quantile-snapshot API the
+// metrics registry exports (p50/p95/p99 of locate latencies, queue
+// response times, backoff waits, ...).
+//
+// The class is plain and copyable — single-writer embedding (DriveMetrics,
+// snapshots) needs value semantics. Concurrent observation goes through
+// obs::HistogramCell (metrics.h), which guards one of these with a mutex.
+#ifndef SERPENTINE_OBS_HISTOGRAM_H_
+#define SERPENTINE_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+
+namespace serpentine::obs {
+
+/// Log₂-bucketed histogram for durations in seconds. Bucket b holds
+/// durations in [2^(b-kZeroBucket), 2^(b-kZeroBucket+1)); the first and
+/// last buckets absorb the tails. Covers ~1 ms to ~9 h.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 26;
+  static constexpr int kZeroBucket = 10;  // bucket 10 = [1, 2) s
+
+  void Add(double seconds);
+
+  /// Folds every sample of `other` into this histogram. Bucket counts and
+  /// the sample count add exactly; total_seconds adds in call order.
+  void Merge(const Histogram& other);
+
+  int64_t count() const { return count_; }
+  double total_seconds() const { return total_seconds_; }
+  int64_t bucket(int b) const { return counts_[b]; }
+  /// Lower bound of bucket `b` in seconds (0 for the underflow bucket).
+  static double BucketFloorSeconds(int b);
+  /// Upper bound of bucket `b` in seconds (2× the floor; the overflow
+  /// bucket reports 2× its floor as a nominal ceiling).
+  static double BucketCeilSeconds(int b);
+
+  /// Bucket-interpolated quantile estimate for q in [0, 1]: locates the
+  /// bucket holding the ⌈q·count⌉-th sample and interpolates linearly
+  /// inside it. 0 for an empty histogram. The estimate is bounded by the
+  /// bucket edges, so it is within 2× of the true sample quantile.
+  double Quantile(double q) const;
+
+ private:
+  int64_t counts_[kBuckets] = {};
+  int64_t count_ = 0;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace serpentine::obs
+
+#endif  // SERPENTINE_OBS_HISTOGRAM_H_

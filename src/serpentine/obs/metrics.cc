@@ -1,0 +1,179 @@
+#include "serpentine/obs/metrics.h"
+
+#include <cstdio>
+
+namespace serpentine::obs {
+namespace {
+
+std::atomic<MetricsRegistry*> g_active_registry{nullptr};
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNum(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+MetricsRegistry::~MetricsRegistry() {
+  MetricsRegistry* self = this;
+  g_active_registry.compare_exchange_strong(self, nullptr);
+}
+
+MetricsRegistry* MetricsRegistry::active() {
+  return g_active_registry.load(std::memory_order_acquire);
+}
+
+void MetricsRegistry::SetActive(MetricsRegistry* registry) {
+  g_active_registry.store(registry, std::memory_order_release);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+HistogramCell& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<HistogramCell>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.histogram = h->snapshot();
+    hs.p50 = hs.histogram.Quantile(0.50);
+    hs.p95 = hs.histogram.Quantile(0.95);
+    hs.p99 = hs.histogram.Quantile(0.99);
+    snap.histograms.emplace_back(name, hs);
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  char buf[64];
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    std::snprintf(buf, sizeof(buf), ":%lld", static_cast<long long>(v));
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":";
+    AppendNum(&out, v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hs] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    std::snprintf(buf, sizeof(buf), ":{\"count\":%lld,\"total_seconds\":",
+                  static_cast<long long>(hs.histogram.count()));
+    out += buf;
+    AppendNum(&out, hs.histogram.total_seconds());
+    out += ",\"p50\":";
+    AppendNum(&out, hs.p50);
+    out += ",\"p95\":";
+    AppendNum(&out, hs.p95);
+    out += ",\"p99\":";
+    AppendNum(&out, hs.p99);
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (hs.histogram.bucket(b) == 0) continue;
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      out += "[";
+      AppendNum(&out, Histogram::BucketFloorSeconds(b));
+      std::snprintf(buf, sizeof(buf), ",%lld]",
+                    static_cast<long long>(hs.histogram.bucket(b)));
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+serpentine::Status MetricsRegistry::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InternalError("cannot open metrics output file: " + path);
+  }
+  std::string json = ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return OkStatus();
+}
+
+}  // namespace serpentine::obs

@@ -1,0 +1,159 @@
+// MetricsRegistry: named counters, gauges, and log₂-bucket latency
+// histograms with a deterministic JSON snapshot (p50/p95/p99 per
+// histogram). The registry is the aggregation side of the observability
+// layer (obs::TraceRecorder is the timeline side; see
+// docs/observability.md for the metric catalog).
+//
+// Concurrency contract: counters are atomic and histograms are
+// mutex-guarded, so *totals* — counter values, histogram bucket counts and
+// sample counts — are invariant under any thread interleaving: a
+// replicated simulation reports the same totals for 1 and N worker
+// threads. Gauges are last-write-wins and therefore only meaningful from
+// single-threaded call sites. Histogram total_seconds accumulates doubles
+// in arrival order, so its last bits may differ across thread counts;
+// everything integral is exact.
+//
+// Disabled-path contract: all instrumentation goes through the ambient
+// MetricsRegistry::active() pointer (one relaxed atomic load). With no
+// registry installed — the default — every hook reduces to a null check,
+// and simulation results are bit-identical with or without one installed
+// (metrics only observe; they never feed back into timing).
+#ifndef SERPENTINE_OBS_METRICS_H_
+#define SERPENTINE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "serpentine/obs/histogram.h"
+#include "serpentine/util/status.h"
+
+namespace serpentine::obs {
+
+/// Monotonically increasing integer metric. Increment is one relaxed
+/// atomic add; totals are exact under any interleaving.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, head position, ...).
+/// Only meaningful from single-threaded call sites — see the concurrency
+/// contract above.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A mutex-guarded Histogram for concurrent observation.
+class HistogramCell {
+ public:
+  void Observe(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    histogram_.Add(seconds);
+  }
+  void Merge(const Histogram& other) {
+    std::lock_guard<std::mutex> lock(mu_);
+    histogram_.Merge(other);
+  }
+  Histogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return histogram_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram histogram_;
+};
+
+/// Point-in-time copy of one histogram with its quantile estimates.
+struct HistogramSnapshot {
+  Histogram histogram;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Point-in-time copy of a whole registry, sorted by metric name — the
+/// deterministic view ToJson serializes.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// One pretty-stable JSON object: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{count,total_seconds,p50,p95,p99,buckets:[[floor,
+  /// n],...]}}}. Keys are sorted, so two snapshots with the same totals
+  /// serialize identically.
+  std::string ToJson() const;
+};
+
+/// Name → metric map. Metric objects are created on first lookup and have
+/// stable addresses for the registry's lifetime, so call sites may cache
+/// the returned references.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  HistogramCell& histogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+  std::string ToJson() const { return Snapshot().ToJson(); }
+  serpentine::Status WriteJson(const std::string& path) const;
+
+  /// The ambient registry instrumentation hooks observe into, or nullptr
+  /// (the default: all hooks disabled). The active registry must outlive
+  /// its installation; destroying it deactivates it.
+  static MetricsRegistry* active();
+  static void SetActive(MetricsRegistry* registry);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramCell>, std::less<>>
+      histograms_;
+};
+
+/// Hook helpers: observe into the active registry if one is installed;
+/// no-ops (one relaxed atomic load) otherwise.
+inline void IncrementCounter(std::string_view name, int64_t delta = 1) {
+  if (MetricsRegistry* m = MetricsRegistry::active()) {
+    m->counter(name).Increment(delta);
+  }
+}
+inline void SetGauge(std::string_view name, double value) {
+  if (MetricsRegistry* m = MetricsRegistry::active()) {
+    m->gauge(name).Set(value);
+  }
+}
+inline void ObserveHistogram(std::string_view name, double seconds) {
+  if (MetricsRegistry* m = MetricsRegistry::active()) {
+    m->histogram(name).Observe(seconds);
+  }
+}
+
+}  // namespace serpentine::obs
+
+#endif  // SERPENTINE_OBS_METRICS_H_

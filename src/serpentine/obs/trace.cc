@@ -1,0 +1,280 @@
+#include "serpentine/obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace serpentine::obs {
+namespace {
+
+std::atomic<TraceRecorder*> g_active_recorder{nullptr};
+std::atomic<uint64_t> g_recorder_generation{0};
+
+// The calling thread's buffer cache. A thread keeps appending to the same
+// buffer until it sees a different recorder generation (a new recorder on
+// the same thread re-registers).
+struct ThreadLocalSlot {
+  uint64_t generation = 0;
+  void* buffer = nullptr;
+};
+thread_local ThreadLocalSlot tls_slot;
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Microsecond stamp: monotone in its argument, so span containment in
+// seconds survives the conversion.
+int64_t ToMicros(double seconds) {
+  return static_cast<int64_t>(std::llround(seconds * 1e6));
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendEvent(std::string* out, const TraceEvent& e, int tid) {
+  char buf[128];
+  *out += "{\"ph\":\"";
+  out->push_back(e.ph);
+  *out += "\",\"pid\":";
+  std::snprintf(buf, sizeof(buf), "%d,\"tid\":%d,\"ts\":%lld",
+                static_cast<int>(e.clock), tid,
+                static_cast<long long>(e.ts_us));
+  *out += buf;
+  if (e.ph == 'X') {
+    std::snprintf(buf, sizeof(buf), ",\"dur\":%lld",
+                  static_cast<long long>(e.end_us - e.ts_us));
+    *out += buf;
+  }
+  if (e.category[0] != '\0') {
+    *out += ",\"cat\":\"";
+    *out += e.category;  // categories are static literals, no escaping
+    *out += "\"";
+  }
+  *out += ",\"name\":";
+  AppendEscaped(out, e.name);
+  if (e.ph == 'b' || e.ph == 'e') {
+    std::snprintf(buf, sizeof(buf), ",\"id\":\"%llx\"",
+                  static_cast<unsigned long long>(e.id));
+    *out += buf;
+  }
+  if (e.ph == 'i') {
+    *out += ",\"s\":\"t\"";  // thread-scoped instant
+  }
+  if (e.ph == 'C') {
+    std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%.6g}", e.value);
+    *out += buf;
+  } else if (!e.args_json.empty()) {
+    *out += ",\"args\":";
+    *out += e.args_json;
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : generation_(g_recorder_generation.fetch_add(1,
+                                                  std::memory_order_relaxed) +
+                  1),
+      wall_epoch_ns_(NowNanos()) {}
+
+TraceRecorder::~TraceRecorder() {
+  TraceRecorder* self = this;
+  g_active_recorder.compare_exchange_strong(self, nullptr);
+}
+
+TraceRecorder* TraceRecorder::active() {
+  return g_active_recorder.load(std::memory_order_acquire);
+}
+
+void TraceRecorder::SetActive(TraceRecorder* recorder) {
+  g_active_recorder.store(recorder, std::memory_order_release);
+}
+
+double TraceRecorder::WallSeconds() const {
+  return static_cast<double>(NowNanos() - wall_epoch_ns_) * 1e-9;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::Buffer() {
+  if (tls_slot.generation != generation_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = static_cast<int>(buffers_.size()) + 1;
+    tls_slot.generation = generation_;
+    tls_slot.buffer = buffer.get();
+    buffers_.push_back(std::move(buffer));
+  }
+  return *static_cast<ThreadBuffer*>(tls_slot.buffer);
+}
+
+void TraceRecorder::Append(TraceEvent event) {
+  ThreadBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(std::move(event));
+}
+
+void TraceRecorder::CompleteEvent(TraceClock clock, const char* category,
+                                  std::string name, double start_seconds,
+                                  double end_seconds, std::string args_json) {
+  TraceEvent e;
+  e.ph = 'X';
+  e.clock = clock;
+  e.category = category;
+  e.name = std::move(name);
+  e.ts_us = ToMicros(start_seconds);
+  e.end_us = ToMicros(end_seconds);
+  if (e.end_us < e.ts_us) e.end_us = e.ts_us;
+  e.args_json = std::move(args_json);
+  Append(std::move(e));
+}
+
+void TraceRecorder::InstantEvent(TraceClock clock, const char* category,
+                                 std::string name, double at_seconds,
+                                 std::string args_json) {
+  TraceEvent e;
+  e.ph = 'i';
+  e.clock = clock;
+  e.category = category;
+  e.name = std::move(name);
+  e.ts_us = ToMicros(at_seconds);
+  e.args_json = std::move(args_json);
+  Append(std::move(e));
+}
+
+void TraceRecorder::CounterEvent(TraceClock clock, std::string name,
+                                 double at_seconds, double value) {
+  TraceEvent e;
+  e.ph = 'C';
+  e.clock = clock;
+  e.name = std::move(name);
+  e.ts_us = ToMicros(at_seconds);
+  e.value = value;
+  Append(std::move(e));
+}
+
+void TraceRecorder::AsyncBegin(TraceClock clock, const char* category,
+                               std::string name, int64_t id, double at_seconds,
+                               std::string args_json) {
+  TraceEvent e;
+  e.ph = 'b';
+  e.clock = clock;
+  e.category = category;
+  e.name = std::move(name);
+  e.ts_us = ToMicros(at_seconds);
+  e.id = id;
+  e.args_json = std::move(args_json);
+  Append(std::move(e));
+}
+
+void TraceRecorder::AsyncEnd(TraceClock clock, const char* category,
+                             std::string name, int64_t id, double at_seconds) {
+  TraceEvent e;
+  e.ph = 'e';
+  e.clock = clock;
+  e.category = category;
+  e.name = std::move(name);
+  e.ts_us = ToMicros(at_seconds);
+  e.id = id;
+  Append(std::move(e));
+}
+
+int64_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = 0;
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(b->mu);
+    n += static_cast<int64_t>(b->events.size());
+  }
+  return n;
+}
+
+std::string TraceRecorder::ToJson() const {
+  // Merge: concatenate per-thread buffers in registration order, then
+  // stable-sort by timestamp — same-timestamp events keep registration
+  // order, so the export is deterministic whenever the timestamps are.
+  std::vector<std::pair<TraceEvent, int>> merged;  // event, tid (copied:
+  // other threads may still append and reallocate their buffers)
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& b : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(b->mu);
+      for (const TraceEvent& e : b->events) merged.emplace_back(e, b->tid);
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.ts_us < b.first.ts_us;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Process metadata: one named process per clock domain.
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"wall clock (CPU)\"}},"
+      "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"virtual (simulated drive time)\"}}";
+  for (const auto& [event, tid] : merged) {
+    out += ",";
+    AppendEvent(&out, event, tid);
+  }
+  out += "]}";
+  return out;
+}
+
+serpentine::Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InternalError("cannot open trace output file: " + path);
+  }
+  std::string json = ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return OkStatus();
+}
+
+ScopedSpan::ScopedSpan(const char* category, std::string name)
+    : recorder_(TraceRecorder::active()),
+      category_(category),
+      name_(std::move(name)) {
+  if (recorder_ != nullptr) start_seconds_ = recorder_->WallSeconds();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (recorder_ == nullptr) return;
+  recorder_->CompleteEvent(TraceClock::kWall, category_, std::move(name_),
+                           start_seconds_, recorder_->WallSeconds());
+}
+
+}  // namespace serpentine::obs

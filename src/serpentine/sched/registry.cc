@@ -3,6 +3,8 @@
 #include <cctype>
 #include <utility>
 
+#include "serpentine/obs/metrics.h"
+#include "serpentine/obs/trace.h"
 #include "serpentine/sched/coalesce.h"
 
 namespace serpentine::sched {
@@ -32,6 +34,23 @@ void Registry::Register(RegistryEntry entry) {
                            algorithm, options);
     };
   }
+  // Every registry-built schedule reports its scheduling CPU as a
+  // wall-clock span "build:<name>" (category "sched") and bumps
+  // "sched.builds.<name>" — one relaxed atomic load each when
+  // observability is off.
+  entry.build = [name = entry.name, inner = std::move(entry.build)](
+                    const tape::LocateModel& model,
+                    tape::SegmentId initial_position,
+                    std::vector<Request> requests,
+                    const SchedulerOptions& options) {
+    if (obs::TraceRecorder::active() == nullptr &&
+        obs::MetricsRegistry::active() == nullptr) {
+      return inner(model, initial_position, std::move(requests), options);
+    }
+    obs::ScopedSpan span("sched", "build:" + name);
+    obs::IncrementCounter("sched.builds." + name);
+    return inner(model, initial_position, std::move(requests), options);
+  };
   for (RegistryEntry& existing : entries_) {
     if (existing.name == entry.name) {
       existing = std::move(entry);

@@ -1,7 +1,7 @@
 // Umbrella header: the whole public API of the serpentine library.
 //
 // Layering (each includes only the ones above it):
-//   util  -> tape -> tsp -> sched -> sim/workload -> store
+//   util -> obs -> tape -> tsp -> sched -> drive -> sim/workload -> store
 #ifndef SERPENTINE_SERPENTINE_H_
 #define SERPENTINE_SERPENTINE_H_
 
@@ -13,6 +13,10 @@
 #include "serpentine/util/status.h"
 #include "serpentine/util/statusor.h"
 #include "serpentine/util/table.h"
+
+#include "serpentine/obs/histogram.h"
+#include "serpentine/obs/metrics.h"
+#include "serpentine/obs/trace.h"
 
 #include "serpentine/tape/calibration.h"
 #include "serpentine/tape/geometry.h"
@@ -29,10 +33,18 @@
 #include "serpentine/sched/coalesce.h"
 #include "serpentine/sched/estimator.h"
 #include "serpentine/sched/local_search.h"
+#include "serpentine/sched/registry.h"
 #include "serpentine/sched/request.h"
 #include "serpentine/sched/scheduler.h"
 #include "serpentine/sched/selector.h"
 #include "serpentine/sched/weave_pattern.h"
+
+#include "serpentine/drive/drive.h"
+#include "serpentine/drive/fault_drive.h"
+#include "serpentine/drive/fault_injector.h"
+#include "serpentine/drive/metered_drive.h"
+#include "serpentine/drive/model_drive.h"
+#include "serpentine/drive/tracing_drive.h"
 
 #include "serpentine/sim/case_mix.h"
 #include "serpentine/sim/executor.h"

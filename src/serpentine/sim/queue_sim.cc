@@ -4,10 +4,13 @@
 #include <cmath>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "serpentine/drive/fault_drive.h"
 #include "serpentine/drive/model_drive.h"
+#include "serpentine/obs/metrics.h"
+#include "serpentine/obs/trace.h"
 #include "serpentine/sched/estimator.h"
 #include "serpentine/sim/recovering_executor.h"
 #include "serpentine/util/check.h"
@@ -21,6 +24,9 @@ namespace {
 struct Arrival {
   double time;
   tape::SegmentId segment;
+  /// Async-span id for the request's arrival→completion timeline, unique
+  /// across replications: (run seed << 32) | arrival index.
+  int64_t id;
 };
 
 }  // namespace
@@ -41,7 +47,8 @@ QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
   for (int i = 0; i < config.total_requests; ++i) {
     double u = rng.NextDouble();
     t += -std::log(1.0 - u) * mean_gap;
-    arrivals.push_back(Arrival{t, rng.NextBounded(g.total_segments())});
+    arrivals.push_back(Arrival{t, rng.NextBounded(g.total_segments()),
+                               (static_cast<int64_t>(config.seed) << 32) | i});
   }
 
   QueueSimResult result;
@@ -72,7 +79,15 @@ QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
     // Admit everything that has arrived by `clock`.
     while (next_arrival < arrivals.size() &&
            arrivals[next_arrival].time <= clock) {
-      pending.push_back(arrivals[next_arrival++]);
+      const Arrival& a = arrivals[next_arrival++];
+      pending.push_back(a);
+      obs::IncrementCounter("queue.arrivals");
+      if (obs::TraceRecorder* rec = obs::TraceRecorder::active()) {
+        rec->AsyncBegin(obs::TraceClock::kVirtual, "queue", "request", a.id,
+                        a.time);
+        rec->CounterEvent(obs::TraceClock::kVirtual, "queue.depth", a.time,
+                          static_cast<double>(pending.size()));
+      }
     }
 
     bool no_more_arrivals = next_arrival >= arrivals.size();
@@ -118,6 +133,11 @@ QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
     SERPENTINE_CHECK(schedule.ok());
     ++result.batches;
     batch_sum += static_cast<double>(members.size());
+    obs::IncrementCounter("queue.batches");
+    obs::ObserveHistogram("queue.batch_size",
+                          static_cast<double>(members.size()));
+    obs::TraceCounter(obs::TraceClock::kVirtual, "queue.depth", clock, 0.0);
+    double dispatch_clock = clock;
 
     // Execute step by step so each request gets a completion stamp.
     // Requests map back to arrivals by segment (duplicates: any order).
@@ -129,6 +149,14 @@ QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
           responses.push_back(at - members[i].time);
           ++result.completed;
           if (!ok) ++result.failed;
+          obs::IncrementCounter("queue.completed");
+          if (!ok) obs::IncrementCounter("queue.failed");
+          obs::ObserveHistogram("queue.response_seconds",
+                                at - members[i].time);
+          if (obs::TraceRecorder* rec = obs::TraceRecorder::active()) {
+            rec->AsyncEnd(obs::TraceClock::kVirtual, "queue", "request",
+                          members[i].id, at);
+          }
           return;
         }
       }
@@ -185,6 +213,12 @@ QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
         result.drive_busy_seconds += step;
         complete(r.segment, clock, /*ok=*/true);
       }
+    }
+
+    if (obs::TraceRecorder::active() != nullptr) {
+      obs::TraceComplete(obs::TraceClock::kVirtual, "queue", "batch",
+                         dispatch_clock, clock,
+                         "{\"size\":" + std::to_string(members.size()) + "}");
     }
   }
 

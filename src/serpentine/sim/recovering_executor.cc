@@ -2,10 +2,29 @@
 
 #include <utility>
 
+#include "serpentine/obs/metrics.h"
+#include "serpentine/obs/trace.h"
 #include "serpentine/util/check.h"
 
 namespace serpentine::sim {
 namespace {
+
+// Observability hooks (category "recover"): instants for each fault class
+// at the virtual time it struck, spans for backoff waits, and counters in
+// the ambient metrics registry. All of this is skipped on one branch when
+// neither a recorder nor a registry is installed, and none of it touches
+// the virtual clock — traced and untraced executions are bit-identical.
+void NoteFault(const char* name, const char* counter, double at_seconds) {
+  obs::TraceInstant(obs::TraceClock::kVirtual, "recover", name, at_seconds);
+  obs::IncrementCounter(counter);
+}
+
+void NoteBackoff(double start_seconds, double backoff_seconds) {
+  obs::TraceComplete(obs::TraceClock::kVirtual, "recover", "backoff",
+                     start_seconds, start_seconds + backoff_seconds);
+  obs::IncrementCounter("recover.retries");
+  obs::ObserveHistogram("recover.backoff_seconds", backoff_seconds);
+}
 
 /// Algorithm used when re-planning the remainder mid-batch. READ makes no
 /// sense for a partial remainder and OPT blows up past the paper's
@@ -135,6 +154,7 @@ RecoveringExecutionResult RecoveringExecutor::Execute(
         ++r.drive_resets;
         r.recovery_seconds += op.times.recovery_seconds;
         elapsed += op.times.recovery_seconds;
+        NoteFault("drive-reset", "recover.drive_resets", elapsed);
         if (reschedules_left > 0 && queue.size() - idx > 1) {
           // The plan is stale: repair from BOT, current request included.
           // With nothing else left to re-plan, fall through to the retry
@@ -147,6 +167,7 @@ RecoveringExecutionResult RecoveringExecutor::Execute(
         ++r.locate_overshoots;
         r.recovery_seconds += op.times.recovery_seconds;
         elapsed += op.times.recovery_seconds;
+        NoteFault("locate-overshoot", "recover.locate_overshoots", elapsed);
       }
       ++attempt;
       if (attempt >= options_.retry.max_attempts) {
@@ -154,6 +175,7 @@ RecoveringExecutionResult RecoveringExecutor::Execute(
         break;
       }
       double backoff = BackoffSeconds(options_.retry, attempt - 1);
+      NoteBackoff(elapsed, backoff);
       r.recovery_seconds += backoff;
       elapsed += backoff;
       ++r.retries;
@@ -181,6 +203,8 @@ RecoveringExecutionResult RecoveringExecutor::Execute(
             ++r.permanent_errors;
             r.recovery_seconds += op.times.recovery_seconds;
             elapsed += op.times.recovery_seconds;
+            NoteFault("permanent-media-error", "recover.permanent_errors",
+                      elapsed);
             abandoned = true;
             permanent_failure = true;
             break;
@@ -190,12 +214,15 @@ RecoveringExecutionResult RecoveringExecutor::Execute(
           ++r.transient_read_errors;
           r.recovery_seconds += op.times.recovery_seconds;
           elapsed += op.times.recovery_seconds;
+          NoteFault("transient-read-error", "recover.transient_read_errors",
+                    elapsed);
           ++attempt;
           if (attempt >= options_.retry.max_attempts) {
             abandoned = true;
             break;
           }
           double backoff = BackoffSeconds(options_.retry, attempt - 1);
+          NoteBackoff(elapsed, backoff);
           r.recovery_seconds += backoff;
           elapsed += backoff;
           ++r.retries;
@@ -205,6 +232,7 @@ RecoveringExecutionResult RecoveringExecutor::Execute(
 
     if (abandoned) {
       r.abandoned_segments.push_back(req.segment);
+      obs::IncrementCounter("recover.abandoned");
       if (on_step) on_step(req, elapsed, false);
       ++idx;
       // A permanent media error invalidates the plan's assumptions about
@@ -240,6 +268,9 @@ RecoveringExecutionResult RecoveringExecutor::Execute(
           idx = 0;
           --reschedules_left;
           ++r.reschedules;
+          obs::IncrementCounter("recover.reschedules");
+          obs::TraceInstant(obs::TraceClock::kVirtual, "recover",
+                            "reschedule", elapsed);
         }
         // On any failure the stale order keeps being serviced; recovery
         // never aborts the batch.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "serpentine/obs/metrics.h"
+#include "serpentine/obs/trace.h"
 #include "serpentine/util/check.h"
 
 namespace serpentine::store {
@@ -56,11 +58,16 @@ serpentine::Status TapeLibrary::Mount(int tape) {
 
   // The robot exchange + load may fail under fault injection; each failed
   // attempt costs a robot re-pick plus the policy's backoff before trying
-  // again.
+  // again. The whole exchange (failed attempts included) is one virtual
+  // "mount" span in the library category.
+  double mount_start = clock_seconds_;
   int attempts = std::max(1, mount_retry_.max_attempts);
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (fault_injector_ != nullptr && fault_injector_->DrawMountFault()) {
       ++mount_retries_;
+      obs::IncrementCounter("library.mount_retries");
+      obs::TraceInstant(obs::TraceClock::kVirtual, "library", "mount-fault",
+                        clock_seconds_);
       Spend(fault_injector_->profile().mount_retry_seconds);
       if (attempt + 1 < attempts) {
         Spend(BackoffSeconds(mount_retry_, attempt));
@@ -72,6 +79,10 @@ serpentine::Status TapeLibrary::Mount(int tape) {
     mounted_ = tape;
     drive_ = std::make_unique<drive::ModelDrive>(*models_[tape]);
     ++total_mounts_;
+    obs::IncrementCounter("library.mounts");
+    obs::TraceComplete(obs::TraceClock::kVirtual, "library",
+                       "mount:" + std::to_string(tape), mount_start,
+                       clock_seconds_);
     return OkStatus();
   }
   return ResourceExhaustedError(
@@ -81,12 +92,18 @@ serpentine::Status TapeLibrary::Mount(int tape) {
 
 serpentine::Status TapeLibrary::Unmount() {
   SERPENTINE_RETURN_IF_ERROR(AnnotateStatus(RequireMounted(), "Unmount"));
+  double unmount_start = clock_seconds_;
+  int tape = mounted_;
   // Single-reel cartridges must rewind to eject (paper footnote 5).
   Spend(drive_->Rewind().times.rewind_seconds);
   Spend(library_timings_.unload_seconds +
         library_timings_.robot_exchange_seconds);
   mounted_ = -1;
   drive_.reset();
+  obs::IncrementCounter("library.unmounts");
+  obs::TraceComplete(obs::TraceClock::kVirtual, "library",
+                     "unmount:" + std::to_string(tape), unmount_start,
+                     clock_seconds_);
   return OkStatus();
 }
 

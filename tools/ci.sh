@@ -35,6 +35,39 @@ else
   echo "clang-tidy not on PATH; skipping the lint pass"
 fi
 
+echo "== docs lint: intra-repo links + README coverage =="
+docs_fail=0
+# Every intra-repo markdown link in README.md and docs/*.md must resolve
+# (relative to the linking file, with a repo-root fallback).
+for md in README.md docs/*.md; do
+  [ -f "$md" ] || continue
+  md_dir=$(dirname "$md")
+  for link in $(grep -o '](\([^)]*\))' "$md" | sed 's/^](//;s/)$//'); do
+    case "$link" in
+      http://*|https://*|mailto:*|"#"*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -z "$target" ] && continue
+    if [ ! -e "$md_dir/$target" ] && [ ! -e "$target" ]; then
+      echo "error: $md links to missing file: $link" >&2
+      docs_fail=1
+    fi
+  done
+done
+# Every docs page must be reachable from the README's docs index.
+for doc in docs/*.md; do
+  [ -f "$doc" ] || continue
+  if ! grep -q "$(basename "$doc")" README.md; then
+    echo "error: README.md does not reference $doc" >&2
+    docs_fail=1
+  fi
+done
+if [ "$docs_fail" -ne 0 ]; then
+  echo "== docs lint: FAILED ==" >&2
+  exit 1
+fi
+echo "== docs lint: OK =="
+
 for config in $CONFIGS; do
   case "$config" in
     plain)   sanitize="" ;;

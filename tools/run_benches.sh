@@ -41,10 +41,15 @@ tail -n 2 "$OUT_DIR/BENCH_fault_sweep.txt"
 
 echo
 echo "== drive ops: MeteredDrive op counts per algorithm =="
+# This run doubles as the observability sample: one Chrome trace_event
+# timeline and one metrics snapshot (see docs/observability.md).
 SERPENTINE_DRIVE_JSON="$OUT_DIR/BENCH_drive_ops.json" \
+SERPENTINE_TRACE="$OUT_DIR/BENCH_trace.json" \
+SERPENTINE_METRICS_JSON="$OUT_DIR/BENCH_metrics.json" \
   "$BUILD_DIR/bench/drive_metrics"
 
 echo
 echo "wrote $OUT_DIR/BENCH_sched.json, $OUT_DIR/BENCH_sim.jsonl," \
-     "$OUT_DIR/BENCH_fault_sweep.txt, and $OUT_DIR/BENCH_drive_ops.json" \
+     "$OUT_DIR/BENCH_fault_sweep.txt, $OUT_DIR/BENCH_drive_ops.json," \
+     "$OUT_DIR/BENCH_trace.json, and $OUT_DIR/BENCH_metrics.json" \
      "(threads: ${SERPENTINE_THREADS:-auto}, scale: ${SERPENTINE_SCALE:-default})"

@@ -17,7 +17,7 @@
 //   --initial=SEG      starting head position (default 0 = BOT)
 //   --random=N         generate N uniform random requests (--seed=N)
 //   --stdin            read one segment number per line from stdin
-//   --trace=FILE       load requests from a trace file (see
+//   --workload=FILE    load requests from a workload trace file (see
 //                      workload/trace_io.h for the format)
 //   --improve          apply Or-opt local search to the schedule
 //   --rewind           charge a rewind after the last read
@@ -29,15 +29,24 @@
 //                      sim/fault_injector.h); "none" still runs the
 //                      recovering executor and must match the estimate.
 //   --fault-seed=N     fault stream seed (default: the profile's seed)
+//   --trace=FILE       execute the schedule and write a Chrome trace_event
+//                      JSON timeline (open in chrome://tracing or
+//                      https://ui.perfetto.dev; see docs/observability.md)
+//   --metrics-json=FILE execute the schedule and write a metrics snapshot
+//                      (counters/gauges/histograms) as JSON
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "serpentine/drive/fault_drive.h"
 #include "serpentine/drive/metered_drive.h"
 #include "serpentine/drive/model_drive.h"
+#include "serpentine/drive/tracing_drive.h"
+#include "serpentine/obs/metrics.h"
+#include "serpentine/obs/trace.h"
 #include "serpentine/sched/estimator.h"
 #include "serpentine/sched/local_search.h"
 #include "serpentine/sched/registry.h"
@@ -65,9 +74,11 @@ struct Args {
   bool rewind = false;
   bool quiet = false;
   bool explain = false;
-  std::string trace_path;
+  std::string workload_path;
   std::string fault_profile;  // empty = no fault execution pass
   int32_t fault_seed = 0;     // 0 = keep the profile's own seed
+  std::string trace_out;        // Chrome trace_event JSON output
+  std::string metrics_out;      // metrics snapshot JSON output
   std::vector<tape::SegmentId> segments;
 };
 
@@ -75,9 +86,10 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--algorithm=A] [--drive=D] [--tape-seed=N] "
                "[--initial=SEG] [--random=N] [--seed=N] [--stdin] "
-               "[--trace=FILE] [--improve] [--rewind] [--explain] "
+               "[--workload=FILE] [--improve] [--rewind] [--explain] "
                "[--quiet] [--fault-profile=none|light|heavy|FILE] "
-               "[--fault-seed=N] [segment ...]\n",
+               "[--fault-seed=N] [--trace=FILE] [--metrics-json=FILE] "
+               "[segment ...]\n",
                argv0);
   return 2;
 }
@@ -116,12 +128,16 @@ int main(int argc, char** argv) {
       args.random_n = std::atoll(v);
     } else if (ParseFlag(argv[i], "--stdin", &v) && !v) {
       args.from_stdin = true;
-    } else if (ParseFlag(argv[i], "--trace", &v) && v) {
-      args.trace_path = v;
+    } else if (ParseFlag(argv[i], "--workload", &v) && v) {
+      args.workload_path = v;
     } else if (ParseFlag(argv[i], "--fault-profile", &v) && v) {
       args.fault_profile = v;
     } else if (ParseFlag(argv[i], "--fault-seed", &v) && v) {
       args.fault_seed = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--trace", &v) && v) {
+      args.trace_out = v;
+    } else if (ParseFlag(argv[i], "--metrics-json", &v) && v) {
+      args.metrics_out = v;
     } else if (ParseFlag(argv[i], "--explain", &v) && !v) {
       args.explain = true;
     } else if (ParseFlag(argv[i], "--improve", &v) && !v) {
@@ -181,8 +197,8 @@ int main(int argc, char** argv) {
   requests.reserve(args.segments.size());
   for (tape::SegmentId s : args.segments)
     requests.push_back(sched::Request{s, 1});
-  if (!args.trace_path.empty()) {
-    auto trace = workload::LoadTrace(args.trace_path);
+  if (!args.workload_path.empty()) {
+    auto trace = workload::LoadTrace(args.workload_path);
     if (!trace.ok()) {
       std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
       return 1;
@@ -190,10 +206,19 @@ int main(int argc, char** argv) {
     requests.insert(requests.end(), trace->begin(), trace->end());
   }
   if (requests.empty()) {
-    std::fprintf(stderr, "no requests (pass segments, --stdin, --trace, or "
-                         "--random=N)\n");
+    std::fprintf(stderr, "no requests (pass segments, --stdin, --workload, "
+                         "or --random=N)\n");
     return Usage(argv[0]);
   }
+
+  // Observability: install the ambient recorder/registry before planning
+  // so scheduler-build spans and counters land in the outputs. Requesting
+  // either output also forces an execution pass below (the timeline comes
+  // from running the schedule, not estimating it).
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry registry;
+  if (!args.trace_out.empty()) obs::TraceRecorder::SetActive(&recorder);
+  if (!args.metrics_out.empty()) obs::MetricsRegistry::SetActive(&registry);
 
   // One locate cache for the whole planning session: scheduling, Or-opt,
   // and both estimates below share each pair's single plan.
@@ -253,47 +278,84 @@ int main(int argc, char** argv) {
   std::printf("# fifo baseline:       %.1f s, speedup %.2fx\n", fifo_s,
               fifo_s / scheduled);
 
-  if (!args.fault_profile.empty()) {
-    auto profile = sim::LoadFaultProfile(args.fault_profile);
-    if (!profile.ok()) {
-      std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
-      return 2;
+  bool observing = !args.trace_out.empty() || !args.metrics_out.empty();
+  if (!args.fault_profile.empty() || observing) {
+    std::unique_ptr<sim::FaultInjector> injector;
+    int32_t fault_seed = 0;
+    if (!args.fault_profile.empty()) {
+      auto profile = sim::LoadFaultProfile(args.fault_profile);
+      if (!profile.ok()) {
+        std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+        return 2;
+      }
+      if (args.fault_seed != 0) profile->seed = args.fault_seed;
+      injector = std::make_unique<sim::FaultInjector>(*profile);
+      fault_seed = profile->seed;
     }
-    if (args.fault_seed != 0) profile->seed = args.fault_seed;
-    sim::FaultInjector injector(*profile);
     sim::RecoveryOptions recovery;
     recovery.estimate.rewind_at_end = args.rewind;
-    // The execution stack: ideal drive, fault process, op meter on top.
-    // Schedule repairs still consult the cached believed model.
+    // The execution stack: ideal drive, fault process (a passthrough when
+    // no profile is set), op meter, tracer outermost so the timeline sees
+    // what execution experienced. Schedule repairs still consult the
+    // cached believed model.
     drive::ModelDrive base(model);
-    drive::FaultDrive faulty(&base, &injector);
+    drive::FaultDrive faulty(&base, injector.get());
     drive::MeteredDrive metered(&faulty);
-    sim::RecoveringExecutor executor(metered, cached, recovery);
+    drive::TracingDrive traced(&metered);
+    sim::RecoveringExecutor executor(traced, cached, recovery);
     sim::RecoveringExecutionResult res = executor.Execute(*schedule);
-    std::printf("# fault execution (%s, seed %d): %.1f s "
-                "(%.1f s recovery, %.2fx estimate)\n",
-                args.fault_profile.c_str(), profile->seed, res.total_seconds,
-                res.recovery_seconds,
-                scheduled > 0 ? res.total_seconds / scheduled : 0.0);
-    std::printf("#   serviced %lld/%zu, transient %lld, overshoot %lld, "
-                "reset %lld, permanent %lld, retries %lld, reschedules %lld, "
-                "abandoned %zu\n",
-                static_cast<long long>(res.requests_serviced),
-                schedule->order.size(),
-                static_cast<long long>(res.transient_read_errors),
-                static_cast<long long>(res.locate_overshoots),
-                static_cast<long long>(res.drive_resets),
-                static_cast<long long>(res.permanent_errors),
-                static_cast<long long>(res.retries),
-                static_cast<long long>(res.reschedules),
-                res.abandoned_segments.size());
-    const drive::DriveMetrics& m = metered.metrics();
-    std::printf("#   drive ops: %lld locates, %lld reads, %lld rewinds "
-                "(%lld segments transferred), busy %.1f s\n",
-                static_cast<long long>(m.locates),
-                static_cast<long long>(m.reads),
-                static_cast<long long>(m.rewinds),
-                static_cast<long long>(m.segments_read), m.busy_seconds());
+    if (!args.fault_profile.empty()) {
+      std::printf("# fault execution (%s, seed %d): %.1f s "
+                  "(%.1f s recovery, %.2fx estimate)\n",
+                  args.fault_profile.c_str(), fault_seed, res.total_seconds,
+                  res.recovery_seconds,
+                  scheduled > 0 ? res.total_seconds / scheduled : 0.0);
+      std::printf("#   serviced %lld/%zu, transient %lld, overshoot %lld, "
+                  "reset %lld, permanent %lld, retries %lld, reschedules "
+                  "%lld, abandoned %zu\n",
+                  static_cast<long long>(res.requests_serviced),
+                  schedule->order.size(),
+                  static_cast<long long>(res.transient_read_errors),
+                  static_cast<long long>(res.locate_overshoots),
+                  static_cast<long long>(res.drive_resets),
+                  static_cast<long long>(res.permanent_errors),
+                  static_cast<long long>(res.retries),
+                  static_cast<long long>(res.reschedules),
+                  res.abandoned_segments.size());
+      const drive::DriveMetrics& m = metered.metrics();
+      std::printf("#   drive ops: %lld locates, %lld reads, %lld rewinds "
+                  "(%lld segments transferred), busy %.1f s\n",
+                  static_cast<long long>(m.locates),
+                  static_cast<long long>(m.reads),
+                  static_cast<long long>(m.rewinds),
+                  static_cast<long long>(m.segments_read), m.busy_seconds());
+    }
+    if (!args.metrics_out.empty()) {
+      metered.metrics().PublishTo(registry, "drive");
+    }
+  }
+
+  if (!args.trace_out.empty()) {
+    auto status = recorder.WriteJson(args.trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (!args.quiet) {
+      std::printf("# wrote %lld trace events to %s\n",
+                  static_cast<long long>(recorder.event_count()),
+                  args.trace_out.c_str());
+    }
+  }
+  if (!args.metrics_out.empty()) {
+    auto status = registry.WriteJson(args.metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (!args.quiet) {
+      std::printf("# wrote metrics snapshot to %s\n", args.metrics_out.c_str());
+    }
   }
   return 0;
 }
