@@ -72,7 +72,19 @@ void BM_LossCoalesced(benchmark::State& state) {
 void BM_SparseLoss(benchmark::State& state) {
   RunScheduling(state, "sparse-loss");
 }
+void BM_LossMt(benchmark::State& state) { RunScheduling(state, "loss-mt"); }
+void BM_LossMtOropt(benchmark::State& state) {
+  RunScheduling(state, "loss-mt-oropt");
+}
 void BM_Opt(benchmark::State& state) { RunScheduling(state, "opt"); }
+
+// Opt-in 100k-request points: they multiply the bench's runtime, so the
+// default run keeps the paper's range and the large regime only joins
+// when SERPENTINE_BENCH_LARGE=1 (run_benches.sh documents this).
+bool LargePointsEnabled() {
+  const char* v = std::getenv("SERPENTINE_BENCH_LARGE");
+  return v != nullptr && v[0] == '1';
+}
 
 // The paper's schedule lengths, truncated per algorithm cost.
 void FullRange(benchmark::internal::Benchmark* b) {
@@ -80,6 +92,14 @@ void FullRange(benchmark::internal::Benchmark* b) {
 }
 void MidRange(benchmark::internal::Benchmark* b) {
   for (int n : {16, 64, 192, 512}) b->Arg(n);
+}
+// Scalable builders: the paper's range, extended into the 100k regime
+// when the large points are opted in.
+void ScalableRange(benchmark::internal::Benchmark* b) {
+  FullRange(b);
+  if (LargePointsEnabled()) {
+    for (int n : {16384, 100000}) b->Arg(n);
+  }
 }
 
 BENCHMARK(BM_Fifo)->Apply(FullRange)->Complexity(benchmark::oN);
@@ -90,7 +110,9 @@ BENCHMARK(BM_Sltf)->Apply(FullRange)->Complexity(benchmark::oNSquared);
 BENCHMARK(BM_SltfNaive)->Apply(MidRange)->Complexity(benchmark::oNSquared);
 BENCHMARK(BM_Loss)->Apply(FullRange)->Complexity(benchmark::oNSquared);
 BENCHMARK(BM_LossCoalesced)->Apply(FullRange)->Complexity(benchmark::oNSquared);
-BENCHMARK(BM_SparseLoss)->Apply(FullRange)->Complexity(benchmark::oNSquared);
+BENCHMARK(BM_SparseLoss)->Apply(ScalableRange)->Complexity(benchmark::oNSquared);
+BENCHMARK(BM_LossMt)->Apply(ScalableRange)->Complexity(benchmark::oN);
+BENCHMARK(BM_LossMtOropt)->Apply(ScalableRange)->Complexity(benchmark::oN);
 // OPT is exponential: the paper reports 0.6 s at 9, 6 s at 10, 936 s at 12
 // (1996 hardware). Keep to 12 so the bench terminates quickly.
 BENCHMARK(BM_Opt)->DenseRange(6, 12, 2);

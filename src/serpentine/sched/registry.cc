@@ -6,6 +6,8 @@
 #include "serpentine/obs/metrics.h"
 #include "serpentine/obs/trace.h"
 #include "serpentine/sched/coalesce.h"
+#include "serpentine/sched/internal.h"
+#include "serpentine/sched/local_search.h"
 
 namespace serpentine::sched {
 namespace {
@@ -136,6 +138,83 @@ const Registry& Registry::Default() {
       entry.algorithm = Algorithm::kSltf;
       entry.options.sltf_naive = true;
       entry.description = "textbook O(n^2) greedy SLTF";
+      r->Register(std::move(entry));
+    }
+    {
+      RegistryEntry entry;
+      entry.name = "ltsp-exact";
+      entry.label = "LTSP";
+      entry.algorithm = Algorithm::kLoss;
+      entry.description =
+          "exact line-TSP interval DP (optimal under linear locate costs; "
+          "small-n correctness oracle)";
+      entry.build = [](const tape::LocateModel& model,
+                       tape::SegmentId initial_position,
+                       std::vector<Request> requests,
+                       const SchedulerOptions& options)
+          -> serpentine::StatusOr<Schedule> {
+        Schedule schedule;
+        schedule.algorithm = Algorithm::kLoss;
+        schedule.initial_position = initial_position;
+        SERPENTINE_ASSIGN_OR_RETURN(
+            schedule.order,
+            internal::ScheduleLtsp(model, initial_position,
+                                   std::move(requests),
+                                   options.loss_coalesce_threshold));
+        return schedule;
+      };
+      r->Register(std::move(entry));
+    }
+    {
+      RegistryEntry entry;
+      entry.name = "loss-mt";
+      entry.label = "LOSS-MT";
+      entry.algorithm = Algorithm::kLoss;
+      entry.options.construction_workers = 0;  // auto
+      entry.description =
+          "partitioned parallel LOSS (bit-identical for any worker count)";
+      entry.build = [](const tape::LocateModel& model,
+                       tape::SegmentId initial_position,
+                       std::vector<Request> requests,
+                       const SchedulerOptions& options)
+          -> serpentine::StatusOr<Schedule> {
+        Schedule schedule;
+        schedule.algorithm = Algorithm::kLoss;
+        schedule.initial_position = initial_position;
+        schedule.order = internal::ScheduleLossPartitioned(
+            model, initial_position, std::move(requests),
+            options.loss_coalesce_threshold, options.loss_partition_size,
+            options.construction_workers);
+        return schedule;
+      };
+      r->Register(std::move(entry));
+    }
+    {
+      RegistryEntry entry;
+      entry.name = "loss-mt-oropt";
+      entry.label = "LOSS-MT+OR";
+      entry.algorithm = Algorithm::kLoss;
+      entry.options.construction_workers = 0;  // auto
+      entry.description =
+          "partitioned parallel LOSS polished by windowed incremental "
+          "Or-opt";
+      entry.build = [](const tape::LocateModel& model,
+                       tape::SegmentId initial_position,
+                       std::vector<Request> requests,
+                       const SchedulerOptions& options)
+          -> serpentine::StatusOr<Schedule> {
+        Schedule schedule;
+        schedule.algorithm = Algorithm::kLoss;
+        schedule.initial_position = initial_position;
+        schedule.order = internal::ScheduleLossPartitioned(
+            model, initial_position, std::move(requests),
+            options.loss_coalesce_threshold, options.loss_partition_size,
+            options.construction_workers);
+        LocalSearchOptions search;
+        search.insertion_window = 64;
+        ImproveSchedule(model, &schedule, search);
+        return schedule;
+      };
       r->Register(std::move(entry));
     }
     return r;

@@ -1,0 +1,90 @@
+#include "serpentine/tsp/ltsp.h"
+
+#include <cstdint>
+#include <string>
+
+#include "serpentine/util/check.h"
+
+namespace serpentine::tsp {
+
+StatusOr<std::vector<int>> SolveLtspPath(const CostMatrix& m) {
+  const int cities = m.size();
+  const int targets = cities - 1;  // cities 1..cities-1, in line order
+  if (targets > kMaxLtspCities) {
+    return InvalidArgumentError("LTSP limited to " +
+                                std::to_string(kMaxLtspCities) + " cities");
+  }
+  if (targets == 0) return std::vector<int>{0};
+
+  // State: the visited cities are exactly the interval [i, j] of targets
+  // (target t ⇔ city t+1) with the head at the left end (L) or right end
+  // (R). dpL/dpR hold the minimal cost of reaching that state from the
+  // start; pL/pR record which predecessor end won (0: same end, 1:
+  // opposite end), for path reconstruction.
+  const size_t mm = static_cast<size_t>(targets);
+  auto at = [mm](int i, int j) { return static_cast<size_t>(i) * mm + j; };
+  std::vector<double> dpL(mm * mm, kInfiniteCost);
+  std::vector<double> dpR(mm * mm, kInfiniteCost);
+  std::vector<int8_t> pL(mm * mm, -1);
+  std::vector<int8_t> pR(mm * mm, -1);
+
+  for (int i = 0; i < targets; ++i) {
+    dpL[at(i, i)] = dpR[at(i, i)] = m.cost(0, i + 1);
+  }
+  for (int len = 2; len <= targets; ++len) {
+    for (int i = 0; i + len - 1 < targets; ++i) {
+      const int j = i + len - 1;
+      // Arrive at the left end (city i+1): the previous interval was
+      // [i+1, j] with the head at either end.
+      {
+        const double from_same = dpL[at(i + 1, j)] + m.cost(i + 2, i + 1);
+        const double from_opp = dpR[at(i + 1, j)] + m.cost(j + 1, i + 1);
+        if (from_same <= from_opp) {
+          dpL[at(i, j)] = from_same;
+          pL[at(i, j)] = 0;
+        } else {
+          dpL[at(i, j)] = from_opp;
+          pL[at(i, j)] = 1;
+        }
+      }
+      // Arrive at the right end (city j+1): previous interval [i, j-1].
+      {
+        const double from_same = dpR[at(i, j - 1)] + m.cost(j, j + 1);
+        const double from_opp = dpL[at(i, j - 1)] + m.cost(i + 1, j + 1);
+        if (from_same <= from_opp) {
+          dpR[at(i, j)] = from_same;
+          pR[at(i, j)] = 0;
+        } else {
+          dpR[at(i, j)] = from_opp;
+          pR[at(i, j)] = 1;
+        }
+      }
+    }
+  }
+
+  // Walk back from the cheaper full-interval end state, peeling the most
+  // recently visited city (the head) off the interval each step.
+  std::vector<int> order(cities);
+  int i = 0;
+  int j = targets - 1;
+  bool left = dpL[at(i, j)] <= dpR[at(i, j)];
+  for (int pos = cities - 1; pos >= 1; --pos) {
+    if (i == j) {
+      order[pos] = i + 1;
+      break;
+    }
+    if (left) {
+      order[pos] = i + 1;
+      left = pL[at(i, j)] == 0;
+      ++i;
+    } else {
+      order[pos] = j + 1;
+      left = pR[at(i, j)] == 1;
+      --j;
+    }
+  }
+  order[0] = 0;
+  return order;
+}
+
+}  // namespace serpentine::tsp

@@ -1,0 +1,40 @@
+// Exact polynomial solver for the linear-TSP (LTSP) restriction of the
+// open-path problem, after Honoré, Simon & Suter's polynomial algorithm
+// for tape-like media (see PAPERS.md): when cities lie on a line and the
+// cost of i→j is a nondecreasing function of the distance between them, an
+// optimal open path never leaves a gap behind the head — the visited set
+// is always a contiguous interval of the line, extended one city at a time
+// at either end. That yields an O(n²) interval dynamic program over states
+// (interval, which-end-the-head-is-at).
+//
+// For HelicalLocateModel costs (overhead + rate·|distance|) the interval
+// property is exact, so SolveLtspPath returns a true optimum — a
+// polynomial oracle that tests use to bound LOSS at sizes Held–Karp can
+// never reach. Under the serpentine Dlt4000 model costs are only
+// approximately linear (track parity and key-point clamps break
+// monotonicity), so there the result is a strong heuristic, not a bound.
+#ifndef SERPENTINE_TSP_LTSP_H_
+#define SERPENTINE_TSP_LTSP_H_
+
+#include <vector>
+
+#include "serpentine/tsp/cost_matrix.h"
+#include "serpentine/util/statusor.h"
+
+namespace serpentine::tsp {
+
+/// Maximum number of non-start cities SolveLtspPath accepts. The DP holds
+/// two n×n double tables plus two parent tables (~2048² × 18 B ≈ 76 MB).
+inline constexpr int kMaxLtspCities = 2048;
+
+/// Optimal-under-linearity path by the LTSP interval DP, O(n²) time and
+/// space. Requires cities 1..n-1 to be indexed in nondecreasing line
+/// order (true for TSP instances built from CoalesceRequests output,
+/// whose groups are sorted by first segment). Returns the visiting order
+/// starting with city 0. Fails with InvalidArgument when the instance
+/// exceeds kMaxLtspCities.
+serpentine::StatusOr<std::vector<int>> SolveLtspPath(const CostMatrix& m);
+
+}  // namespace serpentine::tsp
+
+#endif  // SERPENTINE_TSP_LTSP_H_

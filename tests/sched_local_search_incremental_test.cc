@@ -1,0 +1,160 @@
+// Pins the central contract of the incremental Or-opt: it is an
+// *implementation* optimization, not a different search — on any input it
+// must visit the same windows, accept the same moves in the same order,
+// and therefore return bit-identical schedules and identical stats to the
+// reference full sweep (ImproveScheduleSweep), while pricing far fewer
+// edges.
+#include "serpentine/sched/local_search.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serpentine/sched/estimator.h"
+#include "serpentine/sched/scheduler.h"
+#include "serpentine/util/lrand48.h"
+
+namespace serpentine::sched {
+namespace {
+
+class IncrementalOrOptTest : public ::testing::Test {
+ protected:
+  IncrementalOrOptTest()
+      : model_(tape::TapeGeometry::Generate(tape::Dlt4000TapeParams(), 1),
+               tape::Dlt4000Timings()) {}
+
+  std::vector<Request> RandomRequests(int n, Lrand48& rng) const {
+    std::vector<Request> out;
+    for (int i = 0; i < n; ++i)
+      out.push_back(
+          Request{rng.NextBounded(model_.geometry().total_segments()), 1});
+    return out;
+  }
+
+  /// Runs both implementations on copies of `base` and asserts they agree
+  /// bit for bit: order, moves, passes, and the exact seconds saved.
+  void ExpectIdentical(const Schedule& base, const LocalSearchOptions& options,
+                       const char* context) {
+    Schedule by_sweep = base;
+    Schedule by_incremental = base;
+    LocalSearchStats sweep = ImproveScheduleSweep(model_, &by_sweep, options);
+    LocalSearchStats incremental =
+        ImproveSchedule(model_, &by_incremental, options);
+    EXPECT_EQ(by_sweep.order, by_incremental.order) << context;
+    EXPECT_EQ(sweep.moves, incremental.moves) << context;
+    EXPECT_EQ(sweep.passes, incremental.passes) << context;
+    EXPECT_EQ(sweep.seconds_saved, incremental.seconds_saved) << context;
+    // The point of the incremental search: when the sweep re-derives
+    // verdicts across passes, the memo answers instead. (On single-pass
+    // runs the two price the same edges.)
+    if (sweep.passes > 1) {
+      EXPECT_LT(incremental.edge_evaluations, sweep.edge_evaluations)
+          << context;
+    }
+  }
+
+  tape::Dlt4000LocateModel model_;
+};
+
+TEST_F(IncrementalOrOptTest, MatchesSweepOnRandomizedBatches) {
+  Lrand48 rng(21);
+  for (int n : {2, 3, 8, 40, 160, 400}) {
+    for (Algorithm a : {Algorithm::kFifo, Algorithm::kSort, Algorithm::kLoss,
+                        Algorithm::kWeave}) {
+      auto s = BuildSchedule(model_, 0, RandomRequests(n, rng), a);
+      ASSERT_TRUE(s.ok());
+      LocalSearchOptions options;
+      ExpectIdentical(*s, options,
+                      (std::string(AlgorithmName(a)) + " n=" +
+                       std::to_string(n))
+                          .c_str());
+    }
+  }
+}
+
+TEST_F(IncrementalOrOptTest, MatchesSweepAcrossBlockAndPassLimits) {
+  Lrand48 rng(23);
+  auto s = BuildSchedule(model_, 0, RandomRequests(120, rng), Algorithm::kSort);
+  ASSERT_TRUE(s.ok());
+  for (int max_block : {1, 2, 3, 4}) {
+    for (int max_passes : {1, 2, 8}) {
+      LocalSearchOptions options;
+      options.max_block = max_block;
+      options.max_passes = max_passes;
+      ExpectIdentical(*s, options,
+                      ("block=" + std::to_string(max_block) + " passes=" +
+                       std::to_string(max_passes))
+                          .c_str());
+    }
+  }
+}
+
+TEST_F(IncrementalOrOptTest, MatchesSweepWithInsertionWindows) {
+  Lrand48 rng(27);
+  auto s = BuildSchedule(model_, 0, RandomRequests(200, rng), Algorithm::kFifo);
+  ASSERT_TRUE(s.ok());
+  for (int window : {1, 8, 64, 1000}) {
+    LocalSearchOptions options;
+    options.insertion_window = window;
+    ExpectIdentical(*s, options,
+                    ("window=" + std::to_string(window)).c_str());
+  }
+}
+
+TEST_F(IncrementalOrOptTest, MatchesSweepUnderRelativeThreshold) {
+  Lrand48 rng(29);
+  auto s = BuildSchedule(model_, 0, RandomRequests(150, rng), Algorithm::kFifo);
+  ASSERT_TRUE(s.ok());
+  for (double rel : {0.0, 1e-12, 1e-4, 1e-2}) {
+    LocalSearchOptions options;
+    options.min_gain_relative = rel;
+    ExpectIdentical(*s, options, ("rel=" + std::to_string(rel)).c_str());
+  }
+}
+
+TEST_F(IncrementalOrOptTest, RelativeThresholdScalesWithScheduleLength) {
+  // Regression for the relative accept epsilon: on a long schedule whose
+  // initial locate time is large, a relative threshold of 1% must filter
+  // out every move whose gain is below 1% of that total — far fewer (and
+  // never more) moves than the absolute-epsilon default accepts.
+  Lrand48 rng(31);
+  auto s = BuildSchedule(model_, 0, RandomRequests(300, rng), Algorithm::kFifo);
+  ASSERT_TRUE(s.ok());
+
+  LocalSearchOptions tiny;  // default: min_gain_relative = 1e-12
+  Schedule fine = *s;
+  LocalSearchStats fine_stats = ImproveSchedule(model_, &fine, tiny);
+
+  LocalSearchOptions coarse;
+  coarse.min_gain_relative = 1e-2;
+  Schedule rough = *s;
+  LocalSearchStats rough_stats = ImproveSchedule(model_, &rough, coarse);
+
+  EXPECT_GT(fine_stats.moves, 0);
+  EXPECT_LT(rough_stats.moves, fine_stats.moves);
+  // Every accepted move under the coarse threshold individually saved
+  // more than 1% of the initial locate time, so the totals stay ordered.
+  EXPECT_LE(rough_stats.seconds_saved, fine_stats.seconds_saved + 1e-9);
+
+  // Degenerate corner: both epsilons zero must still terminate (strict
+  // improvement is required either way) and match the sweep.
+  LocalSearchOptions zero;
+  zero.min_gain_seconds = 0.0;
+  zero.min_gain_relative = 0.0;
+  ExpectIdentical(*s, zero, "zero-threshold");
+}
+
+TEST_F(IncrementalOrOptTest, StatsStayInternallyConsistent) {
+  Lrand48 rng(37);
+  auto s = BuildSchedule(model_, 0, RandomRequests(100, rng), Algorithm::kFifo);
+  ASSERT_TRUE(s.ok());
+  double before = EstimateScheduleSeconds(model_, *s);
+  LocalSearchStats stats = ImproveSchedule(model_, &s.value());
+  double after = EstimateScheduleSeconds(model_, *s);
+  EXPECT_NEAR(before - after, stats.seconds_saved, 1e-6);
+  EXPECT_GT(stats.edge_evaluations, 0);
+}
+
+}  // namespace
+}  // namespace serpentine::sched

@@ -69,8 +69,9 @@ TEST(DefaultRegistryTest, CarriesEveryAlgorithmUnderItsName) {
     EXPECT_NE(entry->build, nullptr);
     EXPECT_FALSE(entry->description.empty());
   }
-  // Nine paper algorithms + the two named variants.
-  EXPECT_EQ(registry.entries().size(), 11u);
+  // Nine paper algorithms + five named variants (loss-coalesced,
+  // sltf-naive, ltsp-exact, loss-mt, loss-mt-oropt).
+  EXPECT_EQ(registry.entries().size(), 14u);
 }
 
 TEST(DefaultRegistryTest, LabelsMatchThePaperFigures) {
@@ -119,12 +120,15 @@ TEST(DefaultRegistryTest, ResolveExplainsWhatIsRegistered) {
 
 TEST(DefaultRegistryTest, NamesPreserveRegistrationOrder) {
   std::vector<std::string> names = Registry::Default().names();
-  ASSERT_EQ(names.size(), 11u);
+  ASSERT_EQ(names.size(), 14u);
   // The paper's order first, variants appended.
   EXPECT_EQ(names.front(), "read");
   EXPECT_EQ(names[1], "fifo");
   EXPECT_EQ(names[9], "loss-coalesced");
-  EXPECT_EQ(names.back(), "sltf-naive");
+  EXPECT_EQ(names[10], "sltf-naive");
+  EXPECT_EQ(names[11], "ltsp-exact");
+  EXPECT_EQ(names[12], "loss-mt");
+  EXPECT_EQ(names.back(), "loss-mt-oropt");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,215 @@
+// Pins the pipelined batch runner's determinism contract: with a pure
+// builder and a fault-free drive, overlapping compute with execution must
+// change *when* schedules are built but never *what* is built — overlap
+// on and off produce bit-identical schedules, positions, and virtual
+// timings, and every position prediction holds.
+#include "serpentine/sim/pipeline.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serpentine/drive/model_drive.h"
+#include "serpentine/obs/metrics.h"
+#include "serpentine/obs/trace.h"
+#include "serpentine/sched/scheduler.h"
+#include "serpentine/sim/executor.h"
+#include "serpentine/util/lrand48.h"
+
+namespace serpentine::sim {
+namespace {
+
+using sched::Algorithm;
+using sched::Request;
+using sched::Schedule;
+using tape::SegmentId;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest()
+      : model_(tape::TapeGeometry::Generate(tape::Dlt4000TapeParams(), 1),
+               tape::Dlt4000Timings()) {}
+
+  std::vector<std::vector<Request>> RandomBatches(int batches, int n,
+                                                  int32_t seed) const {
+    Lrand48 rng(seed);
+    std::vector<std::vector<Request>> out(batches);
+    for (auto& batch : out)
+      for (int i = 0; i < n; ++i)
+        batch.push_back(
+            Request{rng.NextBounded(model_.geometry().total_segments()), 1});
+    return out;
+  }
+
+  /// A pure builder: LOSS over (initial, requests), recording the start
+  /// position each build was given into `starts`.
+  BatchScheduleBuilder Builder(std::vector<SegmentId>* starts) const {
+    return [this, starts](int, SegmentId initial,
+                          std::vector<Request> requests)
+               -> serpentine::StatusOr<Schedule> {
+      if (starts != nullptr) starts->push_back(initial);
+      return sched::BuildSchedule(model_, initial, requests, Algorithm::kLoss);
+    };
+  }
+
+  tape::Dlt4000LocateModel model_;
+};
+
+TEST_F(PipelineTest, OverlapOnAndOffAreBitIdentical) {
+  auto batches = RandomBatches(4, 32, 11);
+
+  std::vector<SegmentId> serial_starts;
+  drive::ModelDrive serial_drive(model_, 500);
+  PipelineOptions serial;
+  serial.overlap = false;
+  auto a = RunPipelinedBatches(serial_drive, batches, Builder(&serial_starts),
+                               serial);
+  ASSERT_TRUE(a.ok());
+
+  std::vector<SegmentId> overlap_starts;
+  drive::ModelDrive overlap_drive(model_, 500);
+  auto b = RunPipelinedBatches(overlap_drive, batches,
+                               Builder(&overlap_starts));
+  ASSERT_TRUE(b.ok());
+
+  // Identical builder inputs imply identical schedules; the executed
+  // totals then agree to the bit, as do both drives' final positions.
+  EXPECT_EQ(serial_starts, overlap_starts);
+  EXPECT_EQ(a->totals.total_seconds, b->totals.total_seconds);
+  EXPECT_EQ(a->totals.locate_seconds, b->totals.locate_seconds);
+  EXPECT_EQ(a->totals.final_position, b->totals.final_position);
+  EXPECT_EQ(serial_drive.Position(), overlap_drive.Position());
+  ASSERT_EQ(a->batches.size(), b->batches.size());
+  for (size_t k = 0; k < a->batches.size(); ++k) {
+    EXPECT_EQ(a->batches[k].planned_start, b->batches[k].planned_start) << k;
+    EXPECT_EQ(a->batches[k].execute_virtual_seconds,
+              b->batches[k].execute_virtual_seconds)
+        << k;
+  }
+}
+
+TEST_F(PipelineTest, PrefetchesEveryBatchAfterTheFirstOnFaultFreeDrives) {
+  auto batches = RandomBatches(5, 24, 13);
+  drive::ModelDrive drive(model_, 0);
+  auto result = RunPipelinedBatches(drive, batches, Builder(nullptr));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->prefetched, 4);
+  EXPECT_EQ(result->mispredicted, 0);
+  EXPECT_FALSE(result->batches[0].prefetched);  // nothing to overlap with
+  for (size_t k = 1; k < result->batches.size(); ++k) {
+    EXPECT_TRUE(result->batches[k].prefetched) << k;
+  }
+}
+
+TEST_F(PipelineTest, PlannedStartsChainThroughExecutedPositions) {
+  // Batch k+1's schedule is built from batch k's *predicted* final
+  // position; on a fault-free drive that prediction is exact, so replaying
+  // the schedules serially reproduces exactly the starts the pipeline
+  // planned from.
+  auto batches = RandomBatches(3, 16, 17);
+  drive::ModelDrive drive(model_, 777);
+  auto result = RunPipelinedBatches(drive, batches, Builder(nullptr));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->batches[0].planned_start, 777);
+  SegmentId position = 777;
+  for (size_t k = 0; k < batches.size(); ++k) {
+    EXPECT_EQ(result->batches[k].planned_start, position) << k;
+    auto s = sched::BuildSchedule(model_, position, batches[k],
+                                  Algorithm::kLoss);
+    ASSERT_TRUE(s.ok());
+    ExecutionResult r = ExecuteSchedule(model_, *s);
+    EXPECT_EQ(r.total_seconds, result->batches[k].execute_virtual_seconds)
+        << k;
+    position = r.final_position;
+  }
+  EXPECT_EQ(result->totals.final_position, position);
+}
+
+TEST_F(PipelineTest, RewindAtEndPredictsBotExactly) {
+  auto batches = RandomBatches(3, 12, 19);
+  drive::ModelDrive drive(model_, 0);
+  PipelineOptions options;
+  options.estimate.rewind_at_end = true;
+  auto result = RunPipelinedBatches(drive, batches, Builder(nullptr), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->mispredicted, 0);
+  EXPECT_EQ(result->prefetched, 2);
+  for (size_t k = 1; k < result->batches.size(); ++k) {
+    EXPECT_EQ(result->batches[k].planned_start, 0) << k;  // BOT after rewind
+  }
+  EXPECT_EQ(drive.Position(), 0);
+}
+
+TEST_F(PipelineTest, MakespansAreOrderedAndAccounted) {
+  auto batches = RandomBatches(4, 24, 23);
+  drive::ModelDrive drive(model_, 0);
+  auto result = RunPipelinedBatches(drive, batches, Builder(nullptr));
+  ASSERT_TRUE(result.ok());
+  // serial = sum of every build and every execution; pipelining can only
+  // hide compute, never add to it.
+  double build_sum = 0.0;
+  double exec_sum = 0.0;
+  for (const PipelineBatchStats& b : result->batches) {
+    build_sum += b.build_wall_seconds;
+    exec_sum += b.execute_virtual_seconds;
+    EXPECT_GE(b.build_wall_seconds, 0.0);
+  }
+  EXPECT_NEAR(result->serial_makespan_seconds, build_sum + exec_sum, 1e-9);
+  EXPECT_NEAR(result->build_wall_seconds, build_sum, 1e-9);
+  EXPECT_LE(result->pipelined_makespan_seconds,
+            result->serial_makespan_seconds + 1e-12);
+  EXPECT_GE(result->overlap_seconds(), 0.0);
+  EXPECT_NEAR(exec_sum, result->totals.total_seconds, 1e-9);
+}
+
+TEST_F(PipelineTest, EmptyAndErrorCases) {
+  drive::ModelDrive drive(model_, 0);
+  auto empty = RunPipelinedBatches(drive, {}, Builder(nullptr));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->batches.empty());
+  EXPECT_EQ(empty->totals.total_seconds, 0.0);
+
+  BatchScheduleBuilder failing =
+      [](int, SegmentId,
+         std::vector<Request>) -> serpentine::StatusOr<Schedule> {
+    return serpentine::InternalError("boom");
+  };
+  auto batches = RandomBatches(2, 4, 29);
+  auto failed = RunPipelinedBatches(drive, batches, failing);
+  EXPECT_FALSE(failed.ok());
+}
+
+TEST_F(PipelineTest, EmitsDualClockTraceEventsAndCounters) {
+  obs::TraceRecorder recorder;
+  obs::TraceRecorder::SetActive(&recorder);
+  obs::MetricsRegistry metrics;
+  obs::MetricsRegistry::SetActive(&metrics);
+  auto batches = RandomBatches(3, 8, 31);
+  drive::ModelDrive drive(model_, 0);
+  auto result = RunPipelinedBatches(drive, batches, Builder(nullptr));
+  obs::MetricsRegistry::SetActive(nullptr);
+  obs::TraceRecorder::SetActive(nullptr);
+  ASSERT_TRUE(result.ok());
+
+  // Builds land on the wall clock, executions on the virtual clock.
+  std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("build:batch0"), std::string::npos);
+  EXPECT_NE(json.find("build:batch2"), std::string::npos);
+  EXPECT_NE(json.find("execute:batch0"), std::string::npos);
+  EXPECT_NE(json.find("execute:batch2"), std::string::npos);
+
+  // The run's counters summarize prefetch behavior.
+  obs::MetricsSnapshot snapshot = metrics.Snapshot();
+  auto counter = [&](const std::string& name) -> int64_t {
+    for (const auto& [key, value] : snapshot.counters)
+      if (key == name) return value;
+    return -1;
+  };
+  EXPECT_EQ(counter("pipeline.batches"), 3);
+  EXPECT_EQ(counter("pipeline.prefetched"), 2);
+}
+
+}  // namespace
+}  // namespace serpentine::sim

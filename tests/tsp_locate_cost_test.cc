@@ -1,0 +1,139 @@
+#include "serpentine/tsp/locate_cost.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serpentine/tape/locate_cache.h"
+#include "serpentine/tape/locate_model.h"
+#include "serpentine/util/lrand48.h"
+
+namespace serpentine::tsp {
+namespace {
+
+using tape::SegmentId;
+
+class LocateCostSoATest : public ::testing::Test {
+ protected:
+  LocateCostSoATest()
+      : model_(tape::TapeGeometry::Generate(tape::Dlt4000TapeParams(), 1),
+               tape::Dlt4000Timings()) {}
+
+  /// Random out/in endpoint vectors of n cities each.
+  void RandomEndpoints(int n, int32_t seed, std::vector<SegmentId>* out,
+                       std::vector<SegmentId>* in) const {
+    Lrand48 rng(seed);
+    SegmentId total = model_.geometry().total_segments();
+    out->clear();
+    in->clear();
+    for (int i = 0; i < n; ++i) {
+      out->push_back(rng.NextBounded(total));
+      in->push_back(rng.NextBounded(total));
+    }
+  }
+
+  tape::Dlt4000LocateModel model_;
+};
+
+TEST_F(LocateCostSoATest, KernelActivatesOnDlt4000) {
+  std::vector<SegmentId> out;
+  std::vector<SegmentId> in;
+  RandomEndpoints(8, 1, &out, &in);
+  LocateCostSoA soa(model_, out, in);
+  EXPECT_TRUE(soa.fast_kernel());
+  EXPECT_TRUE(soa.thread_safe());
+  EXPECT_EQ(soa.size(), 8);
+}
+
+TEST_F(LocateCostSoATest, KernelIsBitIdenticalToTheModel) {
+  // The kernel claims to replay Dlt4000LocateModel::LocateSeconds exactly
+  // — same expressions, same evaluation order — so every edge must match
+  // with EXPECT_EQ, not EXPECT_NEAR. 128 cities x 128 cities covers the
+  // case-1 fast path, track switches, key-point clamps, and reversals.
+  std::vector<SegmentId> out;
+  std::vector<SegmentId> in;
+  RandomEndpoints(128, 7, &out, &in);
+  LocateCostSoA soa(model_, out, in);
+  ASSERT_TRUE(soa.fast_kernel());
+  for (int i = 0; i < soa.size(); ++i) {
+    for (int j = 0; j < soa.size(); ++j) {
+      EXPECT_EQ(soa.LocateSeconds(i, j), model_.LocateSeconds(out[i], in[j]))
+          << "i=" << i << " j=" << j << " src=" << out[i] << " dst=" << in[j];
+    }
+  }
+}
+
+TEST_F(LocateCostSoATest, AdjacentAndIdenticalEndpointsMatch) {
+  // Deliberately degenerate endpoints: src == dst (zero cost), adjacent
+  // segments within one reading section (case 1), and a same-position
+  // out/in pair per city.
+  std::vector<SegmentId> out = {0, 100, 101, 5000, 5000};
+  std::vector<SegmentId> in = {0, 100, 102, 5000, 5001};
+  LocateCostSoA soa(model_, out, in);
+  for (int i = 0; i < soa.size(); ++i) {
+    for (int j = 0; j < soa.size(); ++j) {
+      EXPECT_EQ(soa.LocateSeconds(i, j), model_.LocateSeconds(out[i], in[j]));
+    }
+  }
+}
+
+TEST_F(LocateCostSoATest, CostForbidsSelfLoopsAndStartInEdges) {
+  std::vector<SegmentId> out;
+  std::vector<SegmentId> in;
+  RandomEndpoints(6, 3, &out, &in);
+  LocateCostSoA soa(model_, out, in);
+  for (int i = 0; i < soa.size(); ++i) {
+    EXPECT_EQ(soa.cost(i, i), kInfiniteCost);
+    if (i != 0) {
+      EXPECT_EQ(soa.cost(i, 0), kInfiniteCost);
+      EXPECT_EQ(soa.cost(0, i), soa.LocateSeconds(0, i));
+    }
+  }
+}
+
+TEST_F(LocateCostSoATest, WrappedModelFallsBackToForwarding) {
+  // Kernel detection is by exact dynamic type: a wrapper over the Dlt4000
+  // model (here the memoizing cache) must take the forwarding path even
+  // though every answer it gives is the Dlt4000's.
+  std::vector<SegmentId> out;
+  std::vector<SegmentId> in;
+  RandomEndpoints(16, 5, &out, &in);
+  tape::CachedLocateModel cached(model_, 16 * 16);
+  LocateCostSoA soa(cached, out, in);
+  EXPECT_FALSE(soa.fast_kernel());
+  // The cache is plan-once mutable state, so the fallback inherits its
+  // no-concurrency answer.
+  EXPECT_FALSE(soa.thread_safe());
+  for (int i = 0; i < soa.size(); ++i) {
+    for (int j = 0; j < soa.size(); ++j) {
+      EXPECT_EQ(soa.LocateSeconds(i, j), model_.LocateSeconds(out[i], in[j]));
+    }
+  }
+}
+
+TEST_F(LocateCostSoATest, HelicalModelUsesFallback) {
+  tape::HelicalLocateModel helical(100000);
+  std::vector<SegmentId> out = {0, 10, 99999, 50000};
+  std::vector<SegmentId> in = {0, 20, 1, 50000};
+  LocateCostSoA soa(helical, out, in);
+  EXPECT_FALSE(soa.fast_kernel());
+  EXPECT_TRUE(soa.thread_safe());  // helical is stateless
+  for (int i = 0; i < soa.size(); ++i) {
+    for (int j = 0; j < soa.size(); ++j) {
+      EXPECT_EQ(soa.LocateSeconds(i, j), helical.LocateSeconds(out[i], in[j]));
+    }
+  }
+}
+
+TEST_F(LocateCostSoATest, ExposesEndpointPositions) {
+  std::vector<SegmentId> out = {3, 40, 500};
+  std::vector<SegmentId> in = {1, 41, 501};
+  LocateCostSoA soa(model_, out, in);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(soa.out_position(i), out[i]);
+    EXPECT_EQ(soa.in_position(i), in[i]);
+  }
+}
+
+}  // namespace
+}  // namespace serpentine::tsp

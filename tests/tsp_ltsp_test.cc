@@ -1,0 +1,121 @@
+#include "serpentine/tsp/ltsp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serpentine/tsp/cost_matrix.h"
+#include "serpentine/tsp/exact.h"
+#include "serpentine/tsp/loss.h"
+#include "serpentine/util/lrand48.h"
+
+namespace serpentine::tsp {
+namespace {
+
+/// A linear-media instance: city 0 is the head's start position, cities
+/// 1..n-1 lie at nondecreasing line positions (the LTSP input contract),
+/// and every edge costs overhead + rate * |distance| — the regime where
+/// the interval DP is provably optimal.
+CostMatrix LinearInstance(int n, int32_t seed, std::vector<double>* pos_out) {
+  Lrand48 rng(seed);
+  std::vector<double> pos(n);
+  for (double& p : pos) p = static_cast<double>(rng.NextBounded(100000));
+  std::sort(pos.begin() + 1, pos.end());  // start stays wherever it landed
+  if (pos_out != nullptr) *pos_out = pos;
+  constexpr double kOverhead = 5.0;
+  constexpr double kRate = 2.5e-4;
+  return CostMatrix::Build(n, [&](int i, int j) {
+    return kOverhead + kRate * std::abs(pos[i] - pos[j]);
+  });
+}
+
+TEST(LtspTest, TrivialSizes) {
+  CostMatrix one(1);
+  EXPECT_EQ(SolveLtspPath(one).value(), std::vector<int>({0}));
+  CostMatrix two(2);
+  two.set(0, 1, 3.0);
+  EXPECT_EQ(SolveLtspPath(two).value(), std::vector<int>({0, 1}));
+}
+
+TEST(LtspTest, ProducesValidPaths) {
+  for (int n : {2, 3, 5, 17, 64, 257}) {
+    CostMatrix m = LinearInstance(n, 100 + n, nullptr);
+    auto path = SolveLtspPath(m);
+    ASSERT_TRUE(path.ok()) << "n=" << n;
+    EXPECT_TRUE(IsValidPath(m, path.value())) << "n=" << n;
+  }
+}
+
+TEST(LtspTest, MatchesHeldKarpOnLinearInstances) {
+  // Under linear costs the interval DP is exact, so it must tie the
+  // exponential oracle on every instance Held-Karp can reach.
+  for (int n = 2; n <= 9; ++n) {
+    for (int32_t seed = 1; seed <= 8; ++seed) {
+      CostMatrix m = LinearInstance(n, seed * 1000 + n, nullptr);
+      auto ltsp = SolveLtspPath(m);
+      auto hk = SolveExactHeldKarp(m);
+      ASSERT_TRUE(ltsp.ok());
+      ASSERT_TRUE(hk.ok());
+      EXPECT_TRUE(IsValidPath(m, ltsp.value()));
+      EXPECT_NEAR(PathCost(m, ltsp.value()), PathCost(m, hk.value()), 1e-9)
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(LtspTest, NeverWorseThanLossOnLinearInstances) {
+  // At sizes beyond Held-Karp, optimality still implies the DP bounds the
+  // LOSS greedy from below — that is exactly how tests use it as an
+  // oracle.
+  for (int32_t seed = 1; seed <= 6; ++seed) {
+    int n = 120;
+    CostMatrix m = LinearInstance(n, 5000 + seed, nullptr);
+    auto ltsp = SolveLtspPath(m);
+    ASSERT_TRUE(ltsp.ok());
+    double exact = PathCost(m, ltsp.value());
+    double greedy = PathCost(m, SolveLossPath(m));
+    EXPECT_LE(exact, greedy + 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(LtspTest, OptimumNeverLeavesAGapBehind) {
+  // The structural property behind the DP: the visited set is always a
+  // contiguous interval of the line. Spot-check it on the returned order:
+  // once both neighbors of a city are visited, the city itself must be.
+  std::vector<double> pos;
+  CostMatrix m = LinearInstance(40, 77, &pos);
+  auto path = SolveLtspPath(m);
+  ASSERT_TRUE(path.ok());
+  const std::vector<int>& order = path.value();
+  std::vector<bool> visited(m.size(), false);
+  for (int city : order) {
+    visited[city] = true;
+    // Cities 1..n-1 are in nondecreasing position order, so the visited
+    // interval test reduces to: the visited non-start cities form a
+    // contiguous index range.
+    int lo = -1;
+    int hi = -1;
+    for (int c = 1; c < m.size(); ++c) {
+      if (!visited[c]) continue;
+      if (lo < 0) lo = c;
+      hi = c;
+    }
+    if (lo >= 0) {
+      for (int c = lo; c <= hi; ++c) {
+        EXPECT_TRUE(visited[c]) << "gap at " << c << " in [" << lo << ", "
+                                << hi << "]";
+      }
+    }
+  }
+}
+
+TEST(LtspTest, SizeGuard) {
+  CostMatrix big(kMaxLtspCities + 2);
+  auto result = SolveLtspPath(big);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace serpentine::tsp

@@ -89,6 +89,24 @@ for config in $CONFIGS; do
   echo "== $config: test =="
   (cd "$build_dir" && ctest --output-on-failure -j "$JOBS")
   echo "== $config: OK =="
+
+  # Perf smoke, on the unsanitized release build only: one 10k-request
+  # construction sweep (sched_scale exits nonzero on crash, NaN estimates,
+  # dropped requests, or sweep/incremental Or-opt divergence), then a
+  # schema check over the timing records it emitted.
+  if [ "$config" = "plain" ]; then
+    echo "== perf smoke: sched_scale --max-n=10000 ($build_dir) =="
+    smoke_json="$build_dir/perf_smoke_sched_cpu.json"
+    rm -f "$smoke_json"
+    SERPENTINE_BENCH_JSON="$smoke_json" \
+      "$build_dir/bench/sched_scale" --max-n=10000
+    if command -v python3 >/dev/null 2>&1; then
+      python3 tools/validate_bench_json.py "$smoke_json"
+    else
+      echo "python3 not on PATH; skipping the bench JSON schema check"
+    fi
+    echo "== perf smoke: OK =="
+  fi
 done
 
 echo "all configurations passed: $CONFIGS"

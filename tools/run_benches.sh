@@ -28,6 +28,20 @@ echo "== fig6: scheduling CPU (google-benchmark) =="
   --benchmark_out_format=json
 
 echo
+echo "== sched_scale: construction wall-clock at 1k..100k requests =="
+# Fresh file per run (TimingRecorder appends); validated below. Set
+# SERPENTINE_BENCH_LARGE=1 to also extend fig6 above into the 100k regime.
+rm -f "$OUT_DIR/BENCH_sched_cpu.json"
+SERPENTINE_BENCH_JSON="$OUT_DIR/BENCH_sched_cpu.json" \
+  "$BUILD_DIR/bench/sched_scale"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$(dirname "$0")/validate_bench_json.py" \
+    "$OUT_DIR/BENCH_sched_cpu.json"
+else
+  echo "python3 not on PATH; skipping BENCH_sched_cpu.json validation"
+fi
+
+echo
 echo "== fig7: utilization (simulation timings to JSONL) =="
 SERPENTINE_BENCH_JSON="$OUT_DIR/BENCH_sim.jsonl" \
   "$BUILD_DIR/bench/fig7_utilization"
@@ -49,7 +63,8 @@ SERPENTINE_METRICS_JSON="$OUT_DIR/BENCH_metrics.json" \
   "$BUILD_DIR/bench/drive_metrics"
 
 echo
-echo "wrote $OUT_DIR/BENCH_sched.json, $OUT_DIR/BENCH_sim.jsonl," \
+echo "wrote $OUT_DIR/BENCH_sched.json, $OUT_DIR/BENCH_sched_cpu.json," \
+     "$OUT_DIR/BENCH_sim.jsonl," \
      "$OUT_DIR/BENCH_fault_sweep.txt, $OUT_DIR/BENCH_drive_ops.json," \
      "$OUT_DIR/BENCH_trace.json, and $OUT_DIR/BENCH_metrics.json" \
      "(threads: ${SERPENTINE_THREADS:-auto}, scale: ${SERPENTINE_SCALE:-default})"

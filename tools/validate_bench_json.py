@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Schema check for SERPENTINE_BENCH_JSON timing records.
+
+    tools/validate_bench_json.py FILE [FILE ...]
+
+Each file is JSONL as written by bench::TimingRecorder: one JSON object
+per line with figure/label (strings), n/trials/threads (non-negative
+integers), wall_seconds (finite, non-negative number), and scale
+(string). Exits nonzero, naming the offending file and line, when a line
+fails to parse, a key is missing or mistyped, or a number is NaN/inf —
+the cheap tripwire ci.sh and run_benches.sh run over every emitted
+timing file.
+"""
+import json
+import math
+import sys
+
+REQUIRED = {
+    "figure": str,
+    "label": str,
+    "n": int,
+    "trials": int,
+    "wall_seconds": (int, float),
+    "threads": int,
+    "scale": str,
+}
+
+
+def validate_record(record):
+    """Returns an error string, or None when the record conforms."""
+    if not isinstance(record, dict):
+        return "record is not a JSON object"
+    for key, want in REQUIRED.items():
+        if key not in record:
+            return f"missing key {key!r}"
+        value = record[key]
+        # bool is an int subclass; a true/false count is always a bug.
+        if isinstance(value, bool) or not isinstance(value, want):
+            return f"key {key!r} has type {type(value).__name__}"
+    for key in ("n", "trials", "threads", "wall_seconds"):
+        value = record[key]
+        if isinstance(value, float) and not math.isfinite(value):
+            return f"key {key!r} is not finite: {value!r}"
+        if value < 0:
+            return f"key {key!r} is negative: {value!r}"
+    return None
+
+
+def validate_file(path):
+    errors = 0
+    records = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as e:
+                print(f"{path}:{lineno}: unparseable JSON: {e}",
+                      file=sys.stderr)
+                errors += 1
+                continue
+            problem = validate_record(record)
+            if problem is not None:
+                print(f"{path}:{lineno}: {problem}", file=sys.stderr)
+                errors += 1
+            else:
+                records += 1
+    if records == 0 and errors == 0:
+        print(f"{path}: no records", file=sys.stderr)
+        errors += 1
+    return records, errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    total_records = 0
+    total_errors = 0
+    for path in argv[1:]:
+        records, errors = validate_file(path)
+        total_records += records
+        total_errors += errors
+    if total_errors:
+        print(f"validate_bench_json: {total_errors} error(s)",
+              file=sys.stderr)
+        return 1
+    print(f"validate_bench_json: {total_records} record(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
