@@ -41,6 +41,11 @@ enum class OpStatus {
   kDriveReset,
   /// Media defect: the span is unreadable now and forever.
   kPermanentMediaError,
+  /// A health decorator's circuit breaker is open: the operation was
+  /// refused without touching the transport. OpResult::retry_after_seconds
+  /// says how long until the breaker will admit a probe; retrying sooner
+  /// just fails fast again.
+  kCircuitOpen,
 };
 
 /// Stable lowercase name ("ok", "transient-read", ...).
@@ -75,6 +80,11 @@ struct OpResult {
   /// Transient read errors absorbed inside the operation (scan-delivery
   /// re-reads fold one retry into a single DeliverSpan op).
   int transient_read_errors = 0;
+  /// For kCircuitOpen only: virtual seconds until the breaker's cooldown
+  /// expires and a half-open probe will be admitted. Callers that wait this
+  /// long before re-issuing are guaranteed the next op reaches the
+  /// transport (as the probe). Zero for every other status.
+  double retry_after_seconds = 0.0;
 
   bool ok() const { return status == OpStatus::kOk; }
 };

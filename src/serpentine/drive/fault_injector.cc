@@ -75,6 +75,44 @@ FaultProfile FaultProfile::Heavy() {
   return p;
 }
 
+serpentine::Status ValidateFaultProfile(const FaultProfile& profile) {
+  auto check_rate = [](double rate, const char* name) -> Status {
+    if (!std::isfinite(rate) || rate < 0.0 || rate > 1.0) {
+      return InvalidArgumentError(
+          std::string("FaultProfile: ") + name +
+          " must be a probability in [0, 1], got " + std::to_string(rate));
+    }
+    return OkStatus();
+  };
+  auto check_timing = [](double seconds, const char* name) -> Status {
+    if (!std::isfinite(seconds) || seconds < 0.0) {
+      return InvalidArgumentError(
+          std::string("FaultProfile: ") + name +
+          " must be finite and >= 0 seconds, got " + std::to_string(seconds));
+    }
+    return OkStatus();
+  };
+  SERPENTINE_RETURN_IF_ERROR(
+      check_rate(profile.transient_read_rate, "transient_read_rate"));
+  SERPENTINE_RETURN_IF_ERROR(
+      check_rate(profile.locate_overshoot_rate, "locate_overshoot_rate"));
+  SERPENTINE_RETURN_IF_ERROR(
+      check_rate(profile.drive_reset_rate, "drive_reset_rate"));
+  SERPENTINE_RETURN_IF_ERROR(
+      check_rate(profile.permanent_error_rate, "permanent_error_rate"));
+  SERPENTINE_RETURN_IF_ERROR(
+      check_rate(profile.mount_failure_rate, "mount_failure_rate"));
+  SERPENTINE_RETURN_IF_ERROR(check_timing(profile.overshoot_settle_seconds,
+                                          "overshoot_settle_seconds"));
+  SERPENTINE_RETURN_IF_ERROR(check_timing(profile.reset_seconds,
+                                          "reset_seconds"));
+  SERPENTINE_RETURN_IF_ERROR(check_timing(profile.reread_overhead_seconds,
+                                          "reread_overhead_seconds"));
+  SERPENTINE_RETURN_IF_ERROR(check_timing(profile.mount_retry_seconds,
+                                          "mount_retry_seconds"));
+  return OkStatus();
+}
+
 serpentine::StatusOr<FaultProfile> LoadFaultProfile(const std::string& spec) {
   if (spec == "none") return FaultProfile::None();
   if (spec == "light") return FaultProfile::Light();
@@ -138,6 +176,8 @@ serpentine::StatusOr<FaultProfile> LoadFaultProfile(const std::string& spec) {
                                   "'");
     }
   }
+  Status valid = ValidateFaultProfile(p);
+  if (!valid.ok()) return AnnotateStatus(valid, spec);
   return p;
 }
 

@@ -102,9 +102,14 @@ struct FaultProfile {
   static FaultProfile Heavy();
 };
 
+/// Rejects garbage profiles with a descriptive status: every rate must be a
+/// finite probability in [0, 1], every recovery timing finite and >= 0.
+serpentine::Status ValidateFaultProfile(const FaultProfile& profile);
+
 /// Parses a profile from a file of `key=value` lines (keys are the
 /// FaultProfile field names; '#' starts a comment), or from the names
-/// "none", "light", "heavy". Unknown keys fail with InvalidArgument.
+/// "none", "light", "heavy". Unknown keys fail with InvalidArgument; the
+/// parsed profile is validated with ValidateFaultProfile before returning.
 serpentine::StatusOr<FaultProfile> LoadFaultProfile(const std::string& spec);
 
 /// A seeded, deterministic fault process over drive operations.

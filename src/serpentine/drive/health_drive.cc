@@ -1,0 +1,198 @@
+#include "serpentine/drive/health_drive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "serpentine/obs/metrics.h"
+#include "serpentine/util/check.h"
+
+namespace serpentine::drive {
+
+const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+    case BreakerState::kOpen:
+      return "open";
+  }
+  return "unknown";
+}
+
+Status ValidateBreakerPolicy(const BreakerPolicy& policy) {
+  if (policy.window_ops < 1) {
+    return InvalidArgumentError("BreakerPolicy: window_ops must be >= 1, got " +
+                                std::to_string(policy.window_ops));
+  }
+  if (policy.failure_threshold < 1 ||
+      policy.failure_threshold > policy.window_ops) {
+    return InvalidArgumentError(
+        "BreakerPolicy: failure_threshold must be in [1, window_ops=" +
+        std::to_string(policy.window_ops) + "], got " +
+        std::to_string(policy.failure_threshold));
+  }
+  if (std::isnan(policy.slow_op_seconds) || policy.slow_op_seconds <= 0.0) {
+    return InvalidArgumentError(
+        "BreakerPolicy: slow_op_seconds must be > 0 (inf = disabled), got " +
+        std::to_string(policy.slow_op_seconds));
+  }
+  if (!std::isfinite(policy.cooldown_seconds) ||
+      policy.cooldown_seconds <= 0.0) {
+    return InvalidArgumentError(
+        "BreakerPolicy: cooldown_seconds must be finite and > 0, got " +
+        std::to_string(policy.cooldown_seconds));
+  }
+  if (policy.half_open_successes < 1) {
+    return InvalidArgumentError(
+        "BreakerPolicy: half_open_successes must be >= 1, got " +
+        std::to_string(policy.half_open_successes));
+  }
+  if (!std::isfinite(policy.fail_fast_seconds) ||
+      policy.fail_fast_seconds < 0.0) {
+    return InvalidArgumentError(
+        "BreakerPolicy: fail_fast_seconds must be finite and >= 0, got " +
+        std::to_string(policy.fail_fast_seconds));
+  }
+  return OkStatus();
+}
+
+CircuitBreaker::CircuitBreaker(const BreakerPolicy& policy) : policy_(policy) {
+  Status valid = ValidateBreakerPolicy(policy);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "CircuitBreaker: %s\n", valid.ToString().c_str());
+  }
+  SERPENTINE_CHECK(valid.ok());
+}
+
+void CircuitBreaker::TransitionTo(BreakerState next, double now) {
+  if (next == state_) return;
+  transitions_.push_back(BreakerTransition{now, state_, next});
+  state_ = next;
+  if (next == BreakerState::kOpen) ++opens_;
+  obs::SetGauge("drive.breaker.state", static_cast<double>(state_));
+  obs::IncrementCounter(std::string("drive.breaker.to_") +
+                        BreakerStateName(next));
+}
+
+bool CircuitBreaker::Admit(double now, double* retry_after_seconds) {
+  if (retry_after_seconds != nullptr) *retry_after_seconds = 0.0;
+  if (state_ == BreakerState::kOpen) {
+    if (now >= open_until_) {
+      // Cooldown over: this call is the first half-open probe.
+      probe_successes_ = 0;
+      TransitionTo(BreakerState::kHalfOpen, now);
+      return true;
+    }
+    ++fast_fails_;
+    if (retry_after_seconds != nullptr) {
+      *retry_after_seconds = std::max(open_until_ - now, 0.0);
+    }
+    obs::IncrementCounter("drive.breaker.fast_fail");
+    return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::Observe(bool failure, double now) {
+  if (state_ == BreakerState::kHalfOpen) {
+    // Probing: the rolling window restarts from scratch once trust is
+    // re-established; one probe failure re-opens immediately.
+    if (failure) {
+      open_until_ = now + policy_.cooldown_seconds;
+      TransitionTo(BreakerState::kOpen, now);
+    } else if (++probe_successes_ >= policy_.half_open_successes) {
+      window_.clear();
+      window_failures_ = 0;
+      TransitionTo(BreakerState::kClosed, now);
+    }
+    return;
+  }
+  if (state_ != BreakerState::kClosed) return;  // open: nothing admitted
+  window_.push_back(failure);
+  if (failure) ++window_failures_;
+  while (static_cast<int>(window_.size()) > policy_.window_ops) {
+    if (window_.front()) --window_failures_;
+    window_.pop_front();
+  }
+  if (window_failures_ >= policy_.failure_threshold) {
+    window_.clear();
+    window_failures_ = 0;
+    open_until_ = now + policy_.cooldown_seconds;
+    TransitionTo(BreakerState::kOpen, now);
+  }
+}
+
+void CircuitBreaker::RecordSuccess(double now) { Observe(false, now); }
+
+void CircuitBreaker::RecordFailure(double now) { Observe(true, now); }
+
+HealthDrive::HealthDrive(Drive* inner, const BreakerPolicy& policy)
+    : inner_(inner), breaker_(policy) {}
+
+OpResult HealthDrive::FailFast(double retry_after) {
+  OpResult r;
+  r.status = OpStatus::kCircuitOpen;
+  // Charge the refusal plus the remaining cooldown: under the caller-waits
+  // contract the virtual clock lands exactly on the cooldown expiry, so
+  // the next op is admitted as the half-open probe.
+  r.times.recovery_seconds =
+      breaker_.policy().fail_fast_seconds + retry_after;
+  r.retry_after_seconds = retry_after;
+  r.position = inner_->Position();
+  clock_seconds_ += r.times.total();
+  return r;
+}
+
+OpResult HealthDrive::Observe(OpResult result) {
+  clock_seconds_ += result.times.total();
+  bool failure = !result.ok() ||
+                 result.times.total() > breaker_.policy().slow_op_seconds;
+  if (failure) {
+    breaker_.RecordFailure(clock_seconds_);
+  } else {
+    breaker_.RecordSuccess(clock_seconds_);
+  }
+  return result;
+}
+
+OpResult HealthDrive::Locate(tape::SegmentId dst) {
+  double retry_after = 0.0;
+  if (!breaker_.Admit(clock_seconds_, &retry_after)) {
+    return FailFast(retry_after);
+  }
+  return Observe(inner_->Locate(dst));
+}
+
+OpResult HealthDrive::ReadSegments(tape::SegmentId from, tape::SegmentId to) {
+  double retry_after = 0.0;
+  if (!breaker_.Admit(clock_seconds_, &retry_after)) {
+    return FailFast(retry_after);
+  }
+  return Observe(inner_->ReadSegments(from, to));
+}
+
+OpResult HealthDrive::ScanSegments(tape::SegmentId from, tape::SegmentId to) {
+  double retry_after = 0.0;
+  if (!breaker_.Admit(clock_seconds_, &retry_after)) {
+    return FailFast(retry_after);
+  }
+  return Observe(inner_->ScanSegments(from, to));
+}
+
+OpResult HealthDrive::DeliverSpan(tape::SegmentId from, tape::SegmentId to) {
+  double retry_after = 0.0;
+  if (!breaker_.Admit(clock_seconds_, &retry_after)) {
+    return FailFast(retry_after);
+  }
+  return Observe(inner_->DeliverSpan(from, to));
+}
+
+OpResult HealthDrive::Rewind() {
+  // Never gated: recovery must always be able to rewind a sick transport.
+  return Observe(inner_->Rewind());
+}
+
+}  // namespace serpentine::drive

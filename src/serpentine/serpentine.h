@@ -42,6 +42,7 @@
 #include "serpentine/drive/drive.h"
 #include "serpentine/drive/fault_drive.h"
 #include "serpentine/drive/fault_injector.h"
+#include "serpentine/drive/health_drive.h"
 #include "serpentine/drive/metered_drive.h"
 #include "serpentine/drive/model_drive.h"
 #include "serpentine/drive/tracing_drive.h"
@@ -50,6 +51,7 @@
 #include "serpentine/sim/executor.h"
 #include "serpentine/sim/experiment.h"
 #include "serpentine/sim/fault_injector.h"
+#include "serpentine/sim/online_server.h"
 #include "serpentine/sim/perturbed_model.h"
 #include "serpentine/sim/physical_drive.h"
 #include "serpentine/sim/queue_sim.h"

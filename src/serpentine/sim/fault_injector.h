@@ -14,6 +14,7 @@ using drive::FaultProfile;        // NOLINT(misc-unused-using-decls)
 using drive::FaultType;           // NOLINT(misc-unused-using-decls)
 using drive::FaultTypeName;       // NOLINT(misc-unused-using-decls)
 using drive::LoadFaultProfile;    // NOLINT(misc-unused-using-decls)
+using drive::ValidateFaultProfile;  // NOLINT(misc-unused-using-decls)
 
 }  // namespace serpentine::sim
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <deque>
 #include <memory>
 #include <string>
@@ -31,11 +32,47 @@ struct Arrival {
 
 }  // namespace
 
+Status ValidateQueueSimConfig(const QueueSimConfig& config) {
+  if (!std::isfinite(config.arrival_rate_per_hour) ||
+      config.arrival_rate_per_hour <= 0.0) {
+    return InvalidArgumentError(
+        "QueueSimConfig: arrival_rate_per_hour must be finite and > 0, got " +
+        std::to_string(config.arrival_rate_per_hour));
+  }
+  if (config.total_requests < 1) {
+    return InvalidArgumentError(
+        "QueueSimConfig: total_requests must be >= 1, got " +
+        std::to_string(config.total_requests));
+  }
+  if (config.dispatch_min_batch < 1) {
+    return InvalidArgumentError(
+        "QueueSimConfig: dispatch_min_batch must be >= 1, got " +
+        std::to_string(config.dispatch_min_batch));
+  }
+  // Infinity means "no wait bound" and is the default; NaN and non-positive
+  // waits would make the dispatch policy undecidable.
+  if (std::isnan(config.dispatch_max_wait_seconds) ||
+      config.dispatch_max_wait_seconds <= 0.0) {
+    return InvalidArgumentError(
+        "QueueSimConfig: dispatch_max_wait_seconds must be > 0 (inf = no "
+        "bound), got " +
+        std::to_string(config.dispatch_max_wait_seconds));
+  }
+  SERPENTINE_RETURN_IF_ERROR(drive::ValidateFaultProfile(config.faults));
+  SERPENTINE_RETURN_IF_ERROR(ValidateRetryPolicy(config.fault_retry));
+  return OkStatus();
+}
+
 QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
                                   const QueueSimConfig& config) {
-  SERPENTINE_CHECK_GT(config.arrival_rate_per_hour, 0.0);
-  SERPENTINE_CHECK_GT(config.total_requests, 0);
-  SERPENTINE_CHECK_GE(config.dispatch_min_batch, 1);
+  {
+    Status valid = ValidateQueueSimConfig(config);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "RunQueueSimulation: %s\n",
+                   valid.ToString().c_str());
+    }
+    SERPENTINE_CHECK(valid.ok());
+  }
   const tape::TapeGeometry& g = model.geometry();
 
   // Pre-generate the Poisson arrival stream.

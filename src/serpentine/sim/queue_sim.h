@@ -70,7 +70,16 @@ struct QueueSimResult {
   double recovery_seconds = 0.0;
 };
 
-/// Runs the simulation to completion (all arrivals served).
+/// Rejects NaN/negative/inconsistent configurations with a descriptive
+/// status: positive finite arrival rate, total_requests >= 1,
+/// dispatch_min_batch >= 1, dispatch_max_wait_seconds > 0 (inf allowed,
+/// NaN not), plus ValidateFaultProfile / ValidateRetryPolicy on the nested
+/// fault and retry policies.
+Status ValidateQueueSimConfig(const QueueSimConfig& config);
+
+/// Runs the simulation to completion (all arrivals served). The config must
+/// pass ValidateQueueSimConfig (checked; a garbage config aborts with the
+/// validator's message rather than propagating NaN through the sim).
 QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
                                   const QueueSimConfig& config);
 

@@ -69,8 +69,26 @@ RecoveringExecutionResult RecoveringExecutor::ExecuteFullScan(
   const tape::TapeGeometry& g = drive_->geometry();
   RecoveringExecutionResult r;
 
+  // An open breaker (HealthDrive in the stack) may refuse an op; the
+  // refusal charges the remaining cooldown, so one re-issue is the
+  // half-open probe and is always admitted.
+  auto through_breaker = [&](auto issue) {
+    drive::OpResult op = issue();
+    if (op.status == drive::OpStatus::kCircuitOpen) {
+      ++r.breaker_fast_fails;
+      r.breaker_wait_seconds += op.retry_after_seconds;
+      r.recovery_seconds += op.times.recovery_seconds;
+      NoteFault("circuit-open", "recover.breaker_fast_fails",
+                r.recovery_seconds);
+      op = issue();
+    }
+    return op;
+  };
+
   tape::SegmentId last = g.total_segments() - 1;
-  r.read_seconds = drive_->ScanSegments(0, last).times.read_seconds;
+  r.read_seconds =
+      through_breaker([&] { return drive_->ScanSegments(0, last); })
+          .times.read_seconds;
   r.segments_read = g.total_segments();
 
   // Faults strike the delivery of individual requested spans; the scan
@@ -79,7 +97,10 @@ RecoveringExecutionResult RecoveringExecutor::ExecuteFullScan(
   // permanent ones — see FaultDrive::DeliverSpan.
   double recovery_before = 0.0;  // recovery accrued before each delivery
   for (const sched::Request& req : schedule.order) {
-    drive::OpResult op = drive_->DeliverSpan(req.segment, req.last());
+    double recovery_at_entry = r.recovery_seconds;
+    drive::OpResult op = through_breaker(
+        [&] { return drive_->DeliverSpan(req.segment, req.last()); });
+    recovery_before += r.recovery_seconds - recovery_at_entry;
     r.recovery_seconds += op.times.recovery_seconds;
     recovery_before += op.times.recovery_seconds;
     r.transient_read_errors += op.transient_read_errors;
@@ -148,6 +169,25 @@ RecoveringExecutionResult RecoveringExecutor::Execute(
         located = true;
         break;
       }
+      if (op.status == drive::OpStatus::kCircuitOpen) {
+        // A health decorator refused the op and charged the remaining
+        // cooldown as the wait; the next attempt is the half-open probe.
+        // Deliberately no ++attempt and no backoff: waiting out a breaker
+        // must not burn the retry budget reserved for real faults.
+        ++r.breaker_fast_fails;
+        r.breaker_wait_seconds += op.retry_after_seconds;
+        r.recovery_seconds += op.times.recovery_seconds;
+        elapsed += op.times.recovery_seconds;
+        NoteFault("circuit-open", "recover.breaker_fast_fails", elapsed);
+        if (reschedules_left > 0 && queue.size() - idx > 1) {
+          // Use the forced idle time to re-plan around the sick drive: the
+          // head has not moved, but the faults that tripped the breaker
+          // usually have (resets, overshoots), so the plan is suspect.
+          reschedule_now = true;
+          break;
+        }
+        continue;
+      }
       if (op.status == drive::OpStatus::kDriveReset) {
         // The transport force-rewound to BOT (the drive charged the reset
         // plus the rewind as recovery).
@@ -198,6 +238,16 @@ RecoveringExecutionResult RecoveringExecutor::Execute(
             ++r.requests_serviced;
             if (on_step) on_step(req, elapsed, true);
             break;
+          }
+          if (op.status == drive::OpStatus::kCircuitOpen) {
+            // As in the locate phase: charge the wait, keep the retry
+            // budget intact, re-issue as the probe.
+            ++r.breaker_fast_fails;
+            r.breaker_wait_seconds += op.retry_after_seconds;
+            r.recovery_seconds += op.times.recovery_seconds;
+            elapsed += op.times.recovery_seconds;
+            NoteFault("circuit-open", "recover.breaker_fast_fails", elapsed);
+            continue;
           }
           if (op.status == drive::OpStatus::kPermanentMediaError) {
             ++r.permanent_errors;

@@ -68,6 +68,12 @@ struct RecoveringExecutionResult : ExecutionResult {
   int64_t permanent_errors = 0;
   /// Retry attempts actually taken (each charged one backoff interval).
   int64_t retries = 0;
+  /// Ops refused fast by an open circuit breaker (a HealthDrive in the
+  /// stack). Refusals consume no retry budget: the charged wait lands in
+  /// breaker_wait_seconds (also counted in recovery_seconds) and the next
+  /// attempt is the breaker's half-open probe.
+  int64_t breaker_fast_fails = 0;
+  double breaker_wait_seconds = 0.0;
   /// Successful mid-batch reschedules.
   int64_t reschedules = 0;
   /// Virtual seconds lost to faults: wasted motion, settle/reset penalties,

@@ -51,9 +51,29 @@ void TapeLibrary::SetMountFaults(sim::FaultInjector* injector,
   mount_retry_ = retry;
 }
 
+void TapeLibrary::EnableMountBreaker(const drive::BreakerPolicy& policy) {
+  mount_breaker_ = std::make_unique<drive::CircuitBreaker>(policy);
+}
+
 serpentine::Status TapeLibrary::Mount(int tape) {
   SERPENTINE_RETURN_IF_ERROR(AnnotateStatus(ValidateTape(tape), "Mount"));
   if (mounted_ == tape) return OkStatus();
+
+  // A tripped mount breaker fails fast before any robot motion: no clock
+  // spend, no fault draws, and the current cartridge stays mounted. The
+  // caller can Idle() out the cooldown (reported in the message) or route
+  // the request to another library.
+  if (mount_breaker_ != nullptr) {
+    double retry_after = 0.0;
+    if (!mount_breaker_->Admit(clock_seconds_, &retry_after)) {
+      ++mount_fast_fails_;
+      obs::IncrementCounter("library.mount_fast_fails");
+      return UnavailableError(
+          "Mount: mount breaker open for cartridge " + std::to_string(tape) +
+          "; retry after " + std::to_string(retry_after) + "s");
+    }
+  }
+
   if (mounted_ >= 0) SERPENTINE_RETURN_IF_ERROR(Unmount());
 
   // The robot exchange + load may fail under fault injection; each failed
@@ -69,6 +89,18 @@ serpentine::Status TapeLibrary::Mount(int tape) {
       obs::TraceInstant(obs::TraceClock::kVirtual, "library", "mount-fault",
                         clock_seconds_);
       Spend(fault_injector_->profile().mount_retry_seconds);
+      if (mount_breaker_ != nullptr) {
+        mount_breaker_->RecordFailure(clock_seconds_);
+        // The breaker may have tripped mid-exchange; abandon the remaining
+        // attempts immediately rather than drawing against a robot the
+        // breaker has just condemned.
+        if (mount_breaker_->state() == drive::BreakerState::kOpen) {
+          return UnavailableError(
+              "Mount: mount breaker tripped open after " +
+              std::to_string(attempt + 1) + " failed attempts on cartridge " +
+              std::to_string(tape));
+        }
+      }
       if (attempt + 1 < attempts) {
         Spend(BackoffSeconds(mount_retry_, attempt));
       }
@@ -79,6 +111,9 @@ serpentine::Status TapeLibrary::Mount(int tape) {
     mounted_ = tape;
     drive_ = std::make_unique<drive::ModelDrive>(*models_[tape]);
     ++total_mounts_;
+    if (mount_breaker_ != nullptr) {
+      mount_breaker_->RecordSuccess(clock_seconds_);
+    }
     obs::IncrementCounter("library.mounts");
     obs::TraceComplete(obs::TraceClock::kVirtual, "library",
                        "mount:" + std::to_string(tape), mount_start,

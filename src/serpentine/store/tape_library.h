@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "serpentine/drive/health_drive.h"
 #include "serpentine/drive/model_drive.h"
 #include "serpentine/sim/fault_injector.h"
 #include "serpentine/tape/locate_model.h"
@@ -71,6 +72,20 @@ class TapeLibrary {
   /// nullptr to detach. The injector is borrowed, not owned.
   void SetMountFaults(sim::FaultInjector* injector, RetryPolicy retry = {});
 
+  /// Arms a circuit breaker over the robot/drive exchange: every mount
+  /// attempt's outcome feeds the breaker's rolling window, and while it is
+  /// open Mount() fails fast with Unavailable — no robot motion, no clock
+  /// spend, no fault draws — instead of burning a full retry schedule
+  /// against a robot that keeps dropping cartridges. The breaker runs on
+  /// the library's virtual clock, so Idle() (or any clocked work) ages the
+  /// cooldown. `policy` must pass ValidateBreakerPolicy (checked).
+  void EnableMountBreaker(const drive::BreakerPolicy& policy);
+  void DisableMountBreaker() { mount_breaker_.reset(); }
+  /// The armed breaker, or nullptr.
+  const drive::CircuitBreaker* mount_breaker() const {
+    return mount_breaker_.get();
+  }
+
   /// Mounts cartridge `tape` (unmounting any current one first: rewind,
   /// unload, robot exchange, load). No-op if already mounted. The head is
   /// at segment 0 after a fresh mount. Under an attached fault process the
@@ -105,6 +120,8 @@ class TapeLibrary {
   int64_t total_mounts() const { return total_mounts_; }
   /// Failed robot/load attempts that were retried (fault injection only).
   int64_t mount_retries() const { return mount_retries_; }
+  /// Mounts refused fast by an open mount breaker.
+  int64_t mount_fast_fails() const { return mount_fast_fails_; }
   double busy_seconds() const { return busy_seconds_; }
 
  private:
@@ -127,6 +144,8 @@ class TapeLibrary {
   int64_t mount_retries_ = 0;
   sim::FaultInjector* fault_injector_ = nullptr;  // borrowed; may be null
   RetryPolicy mount_retry_;
+  std::unique_ptr<drive::CircuitBreaker> mount_breaker_;  // null = disarmed
+  int64_t mount_fast_fails_ = 0;
 };
 
 }  // namespace serpentine::store

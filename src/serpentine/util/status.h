@@ -20,6 +20,12 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kResourceExhausted,
+  /// A request's deadline cannot (or could not) be met. Used by the online
+  /// admission controller to shed infeasible work explicitly.
+  kDeadlineExceeded,
+  /// A resource is temporarily refusing work (e.g. an open circuit
+  /// breaker); retrying after the indicated cooldown may succeed.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -77,6 +83,8 @@ Status FailedPreconditionError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status ResourceExhaustedError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status UnavailableError(std::string message);
 
 }  // namespace serpentine
 

@@ -245,6 +245,54 @@ TEST_F(TapeLibraryTest, MountFaultsAreDeterministic) {
   EXPECT_EQ(a.second, b.second);
 }
 
+TEST_F(TapeLibraryTest, MountBreakerFailsFastAndRecovers) {
+  sim::FaultProfile profile;
+  profile.mount_failure_rate = 1.0;  // the robot always drops the cartridge
+  sim::FaultInjector injector(profile);
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  library_.SetMountFaults(&injector, retry);
+
+  drive::BreakerPolicy policy;
+  policy.window_ops = 4;
+  policy.failure_threshold = 2;
+  policy.cooldown_seconds = 300.0;
+  policy.half_open_successes = 1;
+  library_.EnableMountBreaker(policy);
+  ASSERT_NE(library_.mount_breaker(), nullptr);
+
+  // The breaker trips mid-exchange on the second failed attempt and aborts
+  // the remaining retry budget instead of burning it.
+  Status tripped = library_.Mount(0);
+  EXPECT_EQ(tripped.code(), StatusCode::kUnavailable);
+  EXPECT_NE(tripped.message().find("tripped open"), std::string::npos);
+  EXPECT_EQ(library_.mount_breaker()->state(), drive::BreakerState::kOpen);
+  EXPECT_EQ(library_.mount_retries(), 2);  // not the full 4 attempts
+
+  // While open, mounts fail fast: Unavailable with the cooldown named, no
+  // robot motion, no clock spend, no fault draws.
+  double before = library_.now();
+  Status refused = library_.Mount(1);
+  EXPECT_EQ(refused.code(), StatusCode::kUnavailable);
+  EXPECT_NE(refused.message().find("retry after"), std::string::npos);
+  EXPECT_DOUBLE_EQ(library_.now(), before);
+  EXPECT_EQ(library_.mount_fast_fails(), 1);
+  EXPECT_EQ(library_.mount_retries(), 2);  // untouched: no attempt was made
+
+  // Idling past the cooldown half-opens the breaker; once the robot is
+  // healthy again the probe mount succeeds and closes it.
+  library_.Idle(policy.cooldown_seconds + 1.0);
+  library_.SetMountFaults(nullptr);
+  EXPECT_TRUE(library_.Mount(0).ok());
+  EXPECT_EQ(library_.mount_breaker()->state(), drive::BreakerState::kClosed);
+  EXPECT_EQ(library_.mounted(), 0);
+
+  // Disarming restores the plain retry path.
+  library_.DisableMountBreaker();
+  EXPECT_EQ(library_.mount_breaker(), nullptr);
+  EXPECT_TRUE(library_.Mount(1).ok());
+}
+
 // ---------------------------------------------------------------------------
 // TertiaryStore.
 // ---------------------------------------------------------------------------

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "serpentine/util/lrand48.h"
+
 namespace serpentine {
 namespace {
 
@@ -48,6 +53,96 @@ TEST(RetryTest, TotalBackoffZeroForSingleAttempt) {
   EXPECT_DOUBLE_EQ(TotalBackoffSeconds(policy), 0.0);
   policy.max_attempts = 0;
   EXPECT_DOUBLE_EQ(TotalBackoffSeconds(policy), 0.0);
+}
+
+TEST(RetryTest, BackoffSurvivesDoubleOverflow) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 1.0;
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff_seconds = 30.0;
+  // 10^5000 overflows double; the guard must return the ceiling, never
+  // inf or NaN.
+  for (int r : {500, 5000, 2000000000}) {
+    double b = BackoffSeconds(policy, r);
+    EXPECT_TRUE(std::isfinite(b)) << r;
+    EXPECT_DOUBLE_EQ(b, 30.0) << r;
+  }
+}
+
+TEST(RetryTest, ZeroInitialBackoffNeverProducesNaN) {
+  // 0 * pow(mult, huge) = 0 * inf = NaN without the guard.
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.0;
+  policy.backoff_multiplier = 2.0;
+  for (int r : {0, 10, 100000}) {
+    double b = BackoffSeconds(policy, r);
+    EXPECT_FALSE(std::isnan(b)) << r;
+    EXPECT_DOUBLE_EQ(b, 0.0) << r;
+  }
+}
+
+TEST(RetryTest, SeededJitterIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 2.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 100.0;
+  policy.jitter_fraction = 0.25;
+  Lrand48 a(42);
+  Lrand48 b(42);
+  for (int r = 0; r < 8; ++r) {
+    double base = BackoffSeconds(policy, r);
+    double ja = BackoffSeconds(policy, r, &a);
+    double jb = BackoffSeconds(policy, r, &b);
+    EXPECT_DOUBLE_EQ(ja, jb) << "same seed, same jitter";
+    EXPECT_GE(ja, base * 0.75 - 1e-12);
+    EXPECT_LE(ja, std::min(base * 1.25, policy.max_backoff_seconds) + 1e-12);
+  }
+}
+
+TEST(RetryTest, JitterOffOrNullRngConsumesNoDraws) {
+  RetryPolicy policy;
+  policy.jitter_fraction = 0.0;
+  Lrand48 rng(7);
+  double before = BackoffSeconds(policy, 1, &rng);
+  EXPECT_DOUBLE_EQ(before, BackoffSeconds(policy, 1));
+  // The rng stream was untouched: its next draw matches a fresh twin's.
+  Lrand48 twin(7);
+  EXPECT_DOUBLE_EQ(rng.NextDouble(), twin.NextDouble());
+  policy.jitter_fraction = 0.5;
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 1, nullptr),
+                   BackoffSeconds(policy, 1));
+}
+
+TEST(RetryTest, ValidateRejectsGarbage) {
+  RetryPolicy ok;
+  EXPECT_TRUE(ValidateRetryPolicy(ok).ok());
+
+  RetryPolicy p = ok;
+  p.max_attempts = 0;
+  EXPECT_EQ(ValidateRetryPolicy(p).code(), StatusCode::kInvalidArgument);
+
+  p = ok;
+  p.initial_backoff_seconds = std::nan("");
+  EXPECT_FALSE(ValidateRetryPolicy(p).ok());
+
+  p = ok;
+  p.initial_backoff_seconds = -1.0;
+  EXPECT_FALSE(ValidateRetryPolicy(p).ok());
+
+  p = ok;
+  p.backoff_multiplier = 0.5;
+  EXPECT_FALSE(ValidateRetryPolicy(p).ok());
+
+  p = ok;
+  p.max_backoff_seconds = 0.1;  // below initial 0.5: inconsistent
+  EXPECT_FALSE(ValidateRetryPolicy(p).ok());
+
+  p = ok;
+  p.jitter_fraction = 1.0;
+  EXPECT_FALSE(ValidateRetryPolicy(p).ok());
+  p.jitter_fraction = std::nan("");
+  EXPECT_FALSE(ValidateRetryPolicy(p).ok());
+  EXPECT_FALSE(ValidateRetryPolicy(p).message().empty());
 }
 
 }  // namespace

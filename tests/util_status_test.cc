@@ -102,6 +102,15 @@ TEST(AnnotateStatusTest, OkAndEmptyContextPassThrough) {
   EXPECT_EQ(AnnotateStatus(s, "").message(), "x");
 }
 
+TEST(StatusTest, OverloadCodesNameAndConstruct) {
+  Status deadline = DeadlineExceededError("past due");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: past due");
+  Status unavailable = UnavailableError("breaker open");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+}
+
 TEST(AnnotateStatusTest, Nests) {
   Status inner = AnnotateStatus(InternalError("bad fit"), "track 3");
   EXPECT_EQ(AnnotateStatus(inner, "Calibrate").message(),

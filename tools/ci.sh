@@ -106,6 +106,21 @@ for config in $CONFIGS; do
       echo "python3 not on PATH; skipping the bench JSON schema check"
     fi
     echo "== perf smoke: OK =="
+
+    # Overload smoke: the admission/deadline/breaker sweep at smoke scale
+    # (exits nonzero on conservation violations, OK-status sheds, or an
+    # unbounded admitted p99), plus the schema check over its records.
+    echo "== overload smoke: overload_sweep ($build_dir) =="
+    overload_json="$build_dir/overload_smoke.json"
+    rm -f "$overload_json"
+    SERPENTINE_SCALE=smoke SERPENTINE_BENCH_JSON="$overload_json" \
+      "$build_dir/bench/overload_sweep" > /dev/null
+    if command -v python3 >/dev/null 2>&1; then
+      python3 tools/validate_bench_json.py "$overload_json"
+    else
+      echo "python3 not on PATH; skipping the bench JSON schema check"
+    fi
+    echo "== overload smoke: OK =="
   fi
 done
 

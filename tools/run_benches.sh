@@ -54,6 +54,20 @@ SERPENTINE_SCALE=smoke "$BUILD_DIR/bench/fault_sweep" \
 tail -n 2 "$OUT_DIR/BENCH_fault_sweep.txt"
 
 echo
+echo "== overload sweep: admission/deadline/breaker past saturation" \
+     "(exits nonzero on invariant violations) =="
+rm -f "$OUT_DIR/BENCH_overload.json"
+SERPENTINE_BENCH_JSON="$OUT_DIR/BENCH_overload.json" \
+  "$BUILD_DIR/bench/overload_sweep" > "$OUT_DIR/BENCH_overload.txt"
+tail -n 2 "$OUT_DIR/BENCH_overload.txt"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$(dirname "$0")/validate_bench_json.py" \
+    "$OUT_DIR/BENCH_overload.json"
+else
+  echo "python3 not on PATH; skipping BENCH_overload.json validation"
+fi
+
+echo
 echo "== drive ops: MeteredDrive op counts per algorithm =="
 # This run doubles as the observability sample: one Chrome trace_event
 # timeline and one metrics snapshot (see docs/observability.md).
@@ -65,6 +79,7 @@ SERPENTINE_METRICS_JSON="$OUT_DIR/BENCH_metrics.json" \
 echo
 echo "wrote $OUT_DIR/BENCH_sched.json, $OUT_DIR/BENCH_sched_cpu.json," \
      "$OUT_DIR/BENCH_sim.jsonl," \
-     "$OUT_DIR/BENCH_fault_sweep.txt, $OUT_DIR/BENCH_drive_ops.json," \
+     "$OUT_DIR/BENCH_fault_sweep.txt, $OUT_DIR/BENCH_overload.json," \
+     "$OUT_DIR/BENCH_drive_ops.json," \
      "$OUT_DIR/BENCH_trace.json, and $OUT_DIR/BENCH_metrics.json" \
      "(threads: ${SERPENTINE_THREADS:-auto}, scale: ${SERPENTINE_SCALE:-default})"

@@ -40,10 +40,25 @@
 //                      built while batch k executes, and the summary
 //                      reports how much scheduling CPU the overlap hides.
 //                      Combine with --trace to see the dual-clock overlap.
+//   --online-rate=R    run an online-serving pass (sim/online_server.h):
+//                      the same number of requests arriving Poisson at R
+//                      per hour, served by the chosen algorithm, with the
+//                      summary reporting shed/completed/failed counts and
+//                      the p99 response. Honors --fault-profile for the
+//                      drive's fault process. Implied (at 60/h) by any of
+//                      the three flags below.
+//   --deadline-frac=F  give every online request a deadline of F mean
+//                      FIFO service times and shed requests whose ETA is
+//                      infeasible (enables admission control)
+//   --admission[=N]    admission control: shed on estimator-infeasible
+//                      deadlines, and past a queue depth of N when given
+//   --breaker          arm the drive health circuit breaker for the
+//                      online pass (drive/health_drive.h)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,6 +74,7 @@
 #include "serpentine/sched/registry.h"
 #include "serpentine/sched/scheduler.h"
 #include "serpentine/sim/fault_injector.h"
+#include "serpentine/sim/online_server.h"
 #include "serpentine/sim/pipeline.h"
 #include "serpentine/sim/recovering_executor.h"
 #include "serpentine/tape/locate_cache.h"
@@ -88,6 +104,11 @@ struct Args {
   std::string trace_out;        // Chrome trace_event JSON output
   std::string metrics_out;      // metrics snapshot JSON output
   int64_t pipeline_batches = 0;  // 0 = no pipelined pass
+  double online_rate = 0.0;      // arrivals/hour; 0 = no online pass
+  double deadline_frac = 0.0;    // deadlines in mean FIFO service times
+  bool admission = false;
+  int64_t admission_depth = 0;   // 0 = feasibility shedding only
+  bool breaker = false;
   std::vector<tape::SegmentId> segments;
 };
 
@@ -98,7 +119,8 @@ int Usage(const char* argv0) {
                "[--workload=FILE] [--improve] [--rewind] [--explain] "
                "[--quiet] [--fault-profile=none|light|heavy|FILE] "
                "[--fault-seed=N] [--trace=FILE] [--metrics-json=FILE] "
-               "[--pipeline=N] [segment ...]\n",
+               "[--pipeline=N] [--online-rate=R] [--deadline-frac=F] "
+               "[--admission[=N]] [--breaker] [segment ...]\n",
                argv0);
   return 2;
 }
@@ -149,6 +171,15 @@ int main(int argc, char** argv) {
       args.metrics_out = v;
     } else if (ParseFlag(argv[i], "--pipeline", &v) && v) {
       args.pipeline_batches = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--online-rate", &v) && v) {
+      args.online_rate = std::atof(v);
+    } else if (ParseFlag(argv[i], "--deadline-frac", &v) && v) {
+      args.deadline_frac = std::atof(v);
+    } else if (ParseFlag(argv[i], "--admission", &v)) {
+      args.admission = true;
+      if (v != nullptr) args.admission_depth = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--breaker", &v) && !v) {
+      args.breaker = true;
     } else if (ParseFlag(argv[i], "--explain", &v) && !v) {
       args.explain = true;
     } else if (ParseFlag(argv[i], "--improve", &v) && !v) {
@@ -332,6 +363,75 @@ int main(int argc, char** argv) {
         piped->serial_makespan_seconds, piped->pipelined_makespan_seconds,
         piped->overlap_seconds(), piped->prefetched,
         static_cast<long long>(nb - 1));
+  }
+
+  bool online_pass = args.online_rate > 0.0 || args.deadline_frac > 0.0 ||
+                     args.admission || args.breaker;
+  if (online_pass) {
+    // Online serving: the same workload size arriving as a Poisson stream
+    // (the batch fixes the load, not the request identities — the server
+    // draws its own segments from --seed) served by the chosen algorithm
+    // over the full drive stack, with admission control, deadlines, and
+    // the drive health breaker as requested.
+    sim::OnlineServerConfig config;
+    config.arrival_rate_per_hour =
+        args.online_rate > 0.0 ? args.online_rate : 60.0;
+    config.total_requests = static_cast<int64_t>(requests.size());
+    config.algorithm = (*entry)->algorithm;
+    config.scheduler_options = (*entry)->options;
+    config.seed = args.seed;
+    if (!args.fault_profile.empty()) {
+      auto profile = sim::LoadFaultProfile(args.fault_profile);
+      if (!profile.ok()) {
+        std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+        return 2;
+      }
+      if (args.fault_seed != 0) profile->seed = args.fault_seed;
+      config.faults = *profile;
+    }
+    if (args.deadline_frac > 0.0) {
+      config.deadline_seconds =
+          args.deadline_frac * fifo_s / static_cast<double>(requests.size());
+    }
+    config.admission.enabled = args.admission || args.deadline_frac > 0.0;
+    config.admission.max_queue_depth = args.admission_depth;
+    config.breaker_enabled = args.breaker;
+    auto online = sim::RunOnlineServer(model, config);
+    if (!online.ok()) {
+      std::fprintf(stderr, "online serving failed: %s\n",
+                   online.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "# online serving @ %.0f req/h: %lld arrivals, %lld admitted, "
+        "%lld shed, %lld completed, %lld failed\n",
+        config.arrival_rate_per_hour,
+        static_cast<long long>(online->arrivals),
+        static_cast<long long>(online->admitted),
+        static_cast<long long>(online->shed),
+        static_cast<long long>(online->completed),
+        static_cast<long long>(online->failed));
+    std::printf(
+        "#   response p99 %.1f s (mean %.1f s, max %.1f s), utilization "
+        "%.2f, throughput %.1f/h\n",
+        online->p99_response_seconds, online->mean_response_seconds,
+        online->max_response_seconds, online->utilization,
+        online->throughput_per_hour);
+    if (config.deadline_seconds <
+        std::numeric_limits<double>::infinity()) {
+      std::printf("#   deadline %.0f s per request: %lld missed, %lld "
+                  "shed as infeasible\n",
+                  config.deadline_seconds,
+                  static_cast<long long>(online->deadline_missed),
+                  static_cast<long long>(online->shed));
+    }
+    if (config.breaker_enabled) {
+      std::printf("#   breaker: %lld fast fails, %zu transitions, %.1f s "
+                  "waiting out cooldowns\n",
+                  static_cast<long long>(online->breaker_fast_fails),
+                  online->breaker_transitions.size(),
+                  online->breaker_wait_seconds);
+    }
   }
 
   bool observing = !args.trace_out.empty() || !args.metrics_out.empty();
