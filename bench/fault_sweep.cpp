@@ -12,7 +12,7 @@
 #include "bench_common.h"
 #include "serpentine/sched/scheduler.h"
 #include "serpentine/sim/executor.h"
-#include "serpentine/sim/fault_injector.h"
+#include "serpentine/drive/fault_injector.h"
 #include "serpentine/sim/queue_sim.h"
 #include "serpentine/sim/recovering_executor.h"
 #include "serpentine/util/lrand48.h"
@@ -37,8 +37,8 @@ int main() {
                 "resched", "abandoned"});
   int violations = 0;
   for (double f : intensities) {
-    sim::FaultProfile profile = sim::FaultProfile::Heavy().Scaled(f);
-    sim::FaultInjector injector(profile);
+    drive::FaultProfile profile = drive::FaultProfile::Heavy().Scaled(f);
+    drive::FaultInjector injector(profile);
     double exec = 0.0, recovery = 0.0;
     double retries = 0.0, resets = 0.0, resched = 0.0, abandoned = 0.0;
     for (int64_t trial = 0; trial < trials; ++trial) {
@@ -91,7 +91,7 @@ int main() {
     config.arrival_rate_per_hour = 60.0;
     config.total_requests = total;
     config.dispatch_min_batch = 16;
-    config.faults = sim::FaultProfile::Light().Scaled(f);
+    config.faults = drive::FaultProfile::Light().Scaled(f);
     sim::QueueSimResult r = sim::RunQueueSimulation(model, config);
     t2.AddRow({Table::Num(f, 2), Table::Num(r.mean_response_seconds, 0),
                Table::Num(r.p95_response_seconds, 0),

@@ -113,7 +113,7 @@ int main() {
     resilient.config.admission.max_queue_depth = 16;
     resilient.config.deadline_seconds = 1800.0;
     resilient.config.deadline_spread = 0.5;
-    resilient.config.faults = sim::FaultProfile::Light();
+    resilient.config.faults = drive::FaultProfile::Light();
     resilient.config.breaker_enabled = true;
     resilient.config.degradation.enabled = true;
     resilient.config.degradation.queue_depth_step = 16;

@@ -154,6 +154,12 @@ class HealthDrive : public Drive {
   /// Virtual seconds of op time observed (including fail-fast charges).
   double clock_seconds() const { return clock_seconds_; }
 
+  /// Points the decorator at a different transport while keeping the
+  /// breaker's window and state. A tape library swapping cartridges under
+  /// one physical drive is the intended use: the breaker guards the drive,
+  /// not the cartridge. `inner` must outlive this decorator.
+  void set_inner(Drive* inner) { inner_ = inner; }
+
  private:
   /// Refusal result for an op issued while the breaker is open.
   OpResult FailFast(double retry_after);

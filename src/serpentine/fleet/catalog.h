@@ -1,0 +1,117 @@
+// The fleet catalog: where every logical segment's replicas live. The
+// single-library stack addresses physical segments directly; a fleet
+// (ROADMAP item 2, TALICS³ direction) needs one more level of naming —
+// a logical segment maps to R physical (library, cartridge, segment)
+// locations, placed at ingest by a policy and chosen at read time by the
+// router (router.h) on estimated service time.
+#ifndef SERPENTINE_FLEET_CATALOG_H_
+#define SERPENTINE_FLEET_CATALOG_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "serpentine/tape/locate_model.h"
+#include "serpentine/util/statusor.h"
+
+namespace serpentine::fleet {
+
+/// One physical copy of a logical segment.
+struct ReplicaLocation {
+  int library = 0;
+  int cartridge = 0;
+  tape::SegmentId segment = 0;
+
+  bool operator==(const ReplicaLocation&) const = default;
+};
+
+/// How ingest spreads replicas across libraries.
+enum class PlacementPolicy {
+  /// Library (i + r) mod L for logical segment i, replica r: perfectly
+  /// balanced, zero randomness, the determinism-pin default.
+  kRoundRobin = 0,
+  /// Seeded uniform draws over the non-full libraries.
+  kRandom = 1,
+  /// Seeded draws weighted by per-library weights (capacity, geography,
+  /// measured load — the EOS-scheduler knob); uniform when no weights are
+  /// given.
+  kWeighted = 2,
+};
+
+/// Stable lowercase name ("round-robin", "random", "weighted").
+const char* PlacementPolicyName(PlacementPolicy policy);
+
+/// Inverse of PlacementPolicyName; InvalidArgument (listing the valid
+/// names) for anything else. The single parsing point for CLI flags and
+/// bench labels.
+serpentine::StatusOr<PlacementPolicy> PlacementPolicyFromString(
+    std::string_view name);
+
+/// Physical shape of a fleet: per-library, per-cartridge segment
+/// capacities.
+struct FleetTopology {
+  /// capacity[lib][cart] = segments on that cartridge.
+  std::vector<std::vector<tape::SegmentId>> capacity;
+
+  int libraries() const { return static_cast<int>(capacity.size()); }
+  int cartridges(int library) const {
+    return static_cast<int>(capacity[library].size());
+  }
+  int64_t library_segments(int library) const;
+  int64_t total_segments() const;
+};
+
+struct PlacementOptions {
+  PlacementPolicy policy = PlacementPolicy::kRoundRobin;
+  /// Copies per logical segment, on distinct libraries.
+  int replication = 1;
+  /// Per-library weights for kWeighted; empty = uniform. Must be finite,
+  /// >= 0, with a positive sum, and either empty or one per library.
+  std::vector<double> weights;
+  /// Seed of the placement rand48 stream (kRandom / kWeighted only;
+  /// kRoundRobin draws nothing).
+  int32_t seed = 1;
+};
+
+/// The logical → physical mapping, built once at ingest and immutable
+/// afterwards (safe to share across replicated runs and threads).
+///
+/// Within each library, placement fills cartridges sequentially (cartridge
+/// 0 segment 0 upward), so a 1-library / replication-1 catalog is the
+/// identity mapping — logical segment i IS physical segment i — which is
+/// what lets a 1-library fleet reproduce the single-library OnlineServer
+/// stream bit for bit.
+class Catalog {
+ public:
+  /// Places `logical_segments` segments × replication replicas onto the
+  /// topology. Fails with InvalidArgument on an impossible request
+  /// (replication > libraries, bad weights) and ResourceExhausted when
+  /// capacity runs out under the distinct-library constraint.
+  static serpentine::StatusOr<Catalog> Build(const FleetTopology& topology,
+                                             int64_t logical_segments,
+                                             const PlacementOptions& options);
+
+  int64_t num_logical() const {
+    return static_cast<int64_t>(replicas_.size());
+  }
+  int replication() const { return replication_; }
+
+  /// The replicas of `logical`, in placement order (replica 0 first).
+  const std::vector<ReplicaLocation>& replicas(int64_t logical) const {
+    return replicas_[logical];
+  }
+
+  /// Physical segments placed on each library (placement-balance metric).
+  const std::vector<int64_t>& placed_per_library() const {
+    return placed_per_library_;
+  }
+
+ private:
+  std::vector<std::vector<ReplicaLocation>> replicas_;
+  std::vector<int64_t> placed_per_library_;
+  int replication_ = 1;
+};
+
+}  // namespace serpentine::fleet
+
+#endif  // SERPENTINE_FLEET_CATALOG_H_

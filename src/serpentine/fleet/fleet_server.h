@@ -1,0 +1,138 @@
+// The fleet serving layer: L libraries, each running the exact
+// single-library serving engine (sim::ServingCore), fed by a replica
+// router. Arrivals name *logical* segments; the catalog (catalog.h) says
+// which libraries hold a copy, each candidate library bids its estimated
+// service time (queue backlog + cartridge exchanges + locate-model
+// estimate) and breaker state, and the router (router.h) picks — hedging
+// away from libraries whose drive breaker is open.
+//
+// Determinism pin: a fleet of one library with one cartridge and
+// replication 1 routes every request to the only replica of the identity
+// catalog, so RunFleet degenerates to exactly RunOnlineServer — same
+// arrival draws, same engine, same aggregation arithmetic — and the
+// pinned test holds `total` equal field for field, for any thread count.
+#ifndef SERPENTINE_FLEET_FLEET_SERVER_H_
+#define SERPENTINE_FLEET_FLEET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serpentine/fleet/catalog.h"
+#include "serpentine/fleet/router.h"
+#include "serpentine/sim/online_server.h"
+#include "serpentine/tape/locate_model.h"
+#include "serpentine/util/stats.h"
+#include "serpentine/util/statusor.h"
+
+namespace serpentine::fleet {
+
+/// A fleet as the serving layer sees it: per-library, per-cartridge locate
+/// models, borrowed from the caller (who keeps them alive — see
+/// UniformFleet for the common owning case).
+struct Fleet {
+  /// models[lib][cart] — every pointer non-null.
+  std::vector<std::vector<const tape::LocateModel*>> models;
+
+  int libraries() const { return static_cast<int>(models.size()); }
+  /// Per-cartridge segment capacities, as the catalog wants them.
+  FleetTopology Topology() const;
+  /// True when every model tolerates concurrent readers (gates parallel
+  /// replications, as in RunReplicatedOnlineServer).
+  bool SupportsConcurrentUse() const;
+};
+
+/// The common fleet: L identical libraries of C cartridges each, all DLT
+/// 4000 geometry from consecutive seeds (cartridge (l, c) uses seed
+/// first_seed + l * C + c, the TapeLibrary idiom). Owns the models;
+/// `fleet()` borrows from it.
+class UniformFleet {
+ public:
+  UniformFleet(const tape::TapeParams& params, tape::DriveTimings timings,
+               int libraries, int cartridges_per_library,
+               int32_t first_seed = 1);
+
+  UniformFleet(const UniformFleet&) = delete;
+  UniformFleet& operator=(const UniformFleet&) = delete;
+
+  const Fleet& fleet() const { return fleet_; }
+
+ private:
+  std::vector<std::unique_ptr<tape::LocateModel>> owned_;
+  Fleet fleet_;
+};
+
+struct FleetConfig {
+  /// The per-library serving engine's knobs (arrival process, admission,
+  /// deadlines, degradation, faults, breaker). The arrival stream is drawn
+  /// once, fleet-wide, over the logical segment space; the fault process is
+  /// decorrelated per library (library 0 keeps the single-library stream so
+  /// the determinism pin covers faulty configs too).
+  sim::OnlineServerConfig serving;
+  /// How logical segments were placed at ingest.
+  PlacementOptions placement;
+  RouterOptions router;
+  /// Logical segments in the catalog; 0 (default) = the smallest
+  /// library's capacity, which every placement policy can always satisfy
+  /// (no library ever exceeds one replica per logical segment). For a
+  /// 1-library fleet this is that library's full capacity, preserving the
+  /// determinism pin.
+  int64_t logical_segments = 0;
+  /// Virtual seconds a cartridge exchange costs inside a library (robot +
+  /// load; the single-reel rewind is charged separately by the engine).
+  double mount_exchange_seconds = 0.0;
+};
+
+Status ValidateFleetConfig(const Fleet& fleet, const FleetConfig& config);
+
+struct FleetResult {
+  /// Fleet-wide totals, aggregated with the exact arithmetic of
+  /// RunOnlineServer (makespan = last drive clock − first arrival;
+  /// utilization = summed busy / makespan, so it can exceed 1 with several
+  /// libraries — divide by libraries() for a per-drive figure). Shed
+  /// records and breaker transitions concatenate in library order.
+  sim::OnlineServerResult total;
+  /// Each library's own results; makespan runs from the first arrival
+  /// *routed there*. Libraries that served nothing report zeros.
+  std::vector<sim::OnlineServerResult> per_library;
+
+  /// Requests the router sent to each library.
+  std::vector<int64_t> routed_per_library;
+  /// Physical segments placed on each library at ingest.
+  std::vector<int64_t> placed_per_library;
+  /// Requests that skipped the score-optimal replica on an open breaker.
+  int64_t failovers = 0;
+  /// Cartridge switches across all libraries, and the virtual seconds they
+  /// cost (rewind + exchange).
+  int64_t cartridge_mounts = 0;
+  double mount_seconds = 0.0;
+};
+
+/// Runs the fleet to completion: every arrival is scored against its
+/// replicas, routed, and answered or shed. Fails on an invalid
+/// configuration or an unplaceable catalog.
+StatusOr<FleetResult> RunFleet(const Fleet& fleet, const FleetConfig& config);
+
+/// Independent replications, thread-count invariant (replica r reseeds the
+/// serving stream from DeriveRand48State(seed, r); placement stays fixed —
+/// the catalog is ingest state, not a per-run draw). Parallel only when
+/// every model supports concurrent use; statistics fold in replica order.
+struct ReplicatedFleetStats {
+  std::vector<FleetResult> results;
+  Accumulator mean_response_seconds;
+  Accumulator p99_response_seconds;
+  Accumulator utilization;
+  Accumulator throughput_per_hour;
+  Accumulator shed_fraction;
+  Accumulator deadline_miss_fraction;
+  Accumulator failover_fraction;
+};
+
+StatusOr<ReplicatedFleetStats> RunReplicatedFleet(const Fleet& fleet,
+                                                  const FleetConfig& config,
+                                                  int replications,
+                                                  int threads = 0);
+
+}  // namespace serpentine::fleet
+
+#endif  // SERPENTINE_FLEET_FLEET_SERVER_H_

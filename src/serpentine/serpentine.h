@@ -1,7 +1,7 @@
 // Umbrella header: the whole public API of the serpentine library.
 //
 // Layering (each includes only the ones above it):
-//   util -> obs -> tape -> tsp -> sched -> drive -> sim/workload -> store
+//   util -> obs -> tape -> tsp -> sched -> drive -> sim/workload -> fleet/store
 #ifndef SERPENTINE_SERPENTINE_H_
 #define SERPENTINE_SERPENTINE_H_
 
@@ -50,13 +50,17 @@
 #include "serpentine/sim/case_mix.h"
 #include "serpentine/sim/executor.h"
 #include "serpentine/sim/experiment.h"
-#include "serpentine/sim/fault_injector.h"
 #include "serpentine/sim/online_server.h"
 #include "serpentine/sim/perturbed_model.h"
 #include "serpentine/sim/physical_drive.h"
 #include "serpentine/sim/queue_sim.h"
 #include "serpentine/sim/recovering_executor.h"
+#include "serpentine/sim/serving_core.h"
 #include "serpentine/sim/wear.h"
+
+#include "serpentine/fleet/catalog.h"
+#include "serpentine/fleet/fleet_server.h"
+#include "serpentine/fleet/router.h"
 
 #include "serpentine/workload/generators.h"
 #include "serpentine/workload/trace_io.h"

@@ -1,68 +1,18 @@
 #include "serpentine/sim/online_server.h"
 
-#include <algorithm>
-#include <chrono>
 #include <cmath>
-#include <cstdio>
-#include <deque>
-#include <memory>
-#include <numeric>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "serpentine/drive/fault_drive.h"
-#include "serpentine/drive/model_drive.h"
-#include "serpentine/obs/metrics.h"
-#include "serpentine/obs/trace.h"
-#include "serpentine/sched/estimator.h"
 #include "serpentine/sched/registry.h"
-#include "serpentine/sim/recovering_executor.h"
+#include "serpentine/sim/serving_core.h"
 #include "serpentine/util/check.h"
 #include "serpentine/util/env.h"
 #include "serpentine/util/lrand48.h"
 #include "serpentine/util/thread_pool.h"
 
 namespace serpentine::sim {
-namespace {
-
-/// Stream index of the online extras rand48 stream (priorities, deadline
-/// multipliers), derived from config.seed. Any fixed value works; it only
-/// has to differ from the replication indices RunReplicated* uses, and it
-/// must never change — the pinned determinism tests depend on it.
-constexpr int64_t kOnlineExtrasStream = 1000003;
-
-struct OnlineRequest {
-  double time = 0.0;
-  tape::SegmentId segment = 0;
-  /// Async-span id, unique across replications: (run seed << 32) | index.
-  int64_t id = 0;
-  int priority = 0;
-  double deadline = std::numeric_limits<double>::infinity();
-  /// Dispatch cycles this request has been left behind while queued.
-  int waited_cycles = 0;
-};
-
-/// FIFO completion estimate of (pending ++ candidate) from the drive's
-/// current head position — the admission controller's feasibility oracle.
-/// FIFO because admission must answer *before* the batch is scheduled; the
-/// real scheduler only does better, so the bound errs toward shedding.
-double FifoEstimateSeconds(const tape::LocateModel& model,
-                           tape::SegmentId head,
-                           const std::deque<OnlineRequest>& pending,
-                           const OnlineRequest& candidate) {
-  sched::Schedule plan;
-  plan.algorithm = sched::Algorithm::kFifo;
-  plan.initial_position = head;
-  plan.order.reserve(pending.size() + 1);
-  for (const OnlineRequest& p : pending) {
-    plan.order.push_back(sched::Request{p.segment, 1});
-  }
-  plan.order.push_back(sched::Request{candidate.segment, 1});
-  return sched::EstimateScheduleSeconds(model, plan);
-}
-
-}  // namespace
 
 Status ValidateOnlineServerConfig(const OnlineServerConfig& config) {
   // The base knobs share QueueSimConfig's contract; validate through it.
@@ -156,411 +106,37 @@ StatusOr<OnlineServerResult> RunOnlineServer(const tape::LocateModel& model,
   SERPENTINE_RETURN_IF_ERROR(ValidateOnlineServerConfig(config));
   const tape::TapeGeometry& g = model.geometry();
 
-  const bool deadlines_enabled = std::isfinite(config.deadline_seconds);
-  const bool priorities_enabled = config.priority_classes > 1;
-
   // Pre-generate the Poisson arrival stream — the exact draw sequence of
-  // RunQueueSimulation. Priorities and deadline multipliers come from a
-  // *separate* derived stream, consumed only when those features are on,
-  // so the arrival times and segments never shift.
-  Lrand48 rng(config.seed);
-  Lrand48 extras_rng;
-  extras_rng.SeedState(DeriveRand48State(config.seed, kOnlineExtrasStream));
-  std::vector<OnlineRequest> arrivals;
-  arrivals.reserve(config.total_requests);
-  double t = 0.0;
-  double mean_gap = 3600.0 / config.arrival_rate_per_hour;
-  for (int i = 0; i < config.total_requests; ++i) {
-    double u = rng.NextDouble();
-    t += -std::log(1.0 - u) * mean_gap;
-    OnlineRequest req;
-    req.time = t;
-    req.segment = rng.NextBounded(g.total_segments());
-    req.id = (static_cast<int64_t>(config.seed) << 32) | i;
-    if (priorities_enabled) {
-      req.priority =
-          static_cast<int>(extras_rng.NextBounded(config.priority_classes));
+  // RunQueueSimulation — then crank the extracted serving engine through
+  // it. The engine IS the former loop body of this function; feeding it
+  // one arrival at a time reproduces the historical trajectory bit for
+  // bit (the fleet layer drives the same engine, which is what pins a
+  // 1-library fleet to this function's results).
+  std::vector<ServingRequest> arrivals =
+      GenerateOnlineArrivals(config, g.total_segments());
+
+  ServingCore core(std::vector<const tape::LocateModel*>{&model}, config,
+                   /*fault_stream=*/config.seed);
+  for (const ServingRequest& a : arrivals) {
+    while (core.Step() == ServingStep::kRan) {
     }
-    if (deadlines_enabled) {
-      double mult = 1.0;
-      if (config.deadline_spread > 0.0) {
-        mult += config.deadline_spread * extras_rng.NextDouble();
-      }
-      req.deadline = req.time + config.deadline_seconds * mult;
-    }
-    arrivals.push_back(req);
+    core.Push(a);
   }
-
-  OnlineServerResult result;
-  std::vector<double> responses;
-  responses.reserve(config.total_requests);
-
-  // Fault process, decorrelated per (fault seed, arrival seed) pair.
-  std::unique_ptr<FaultInjector> injector;
-  if (config.faults.any()) {
-    injector = std::make_unique<FaultInjector>(config.faults);
-    injector->ReseedState(DeriveRand48State(config.faults.seed, config.seed));
+  core.FinishInput();
+  while (core.Step() == ServingStep::kRan) {
   }
+  SERPENTINE_CHECK(core.Step() == ServingStep::kDone);
+  core.FinishResult();
 
-  // The simulated drive stack. With the breaker disarmed the stack is
-  // exactly RunQueueSimulation's FaultDrive(ModelDrive) and executes bit
-  // for bit identically.
-  drive::ModelDrive base_drive(model);
-  drive::FaultDrive fault_drive(&base_drive, injector.get());
-  std::unique_ptr<drive::HealthDrive> health;
-  drive::Drive* drive_ptr = &fault_drive;
-  if (config.breaker_enabled) {
-    health = std::make_unique<drive::HealthDrive>(&fault_drive,
-                                                  config.breaker);
-    drive_ptr = health.get();
-  }
-  drive::Drive& drive = *drive_ptr;
+  OnlineServerResult result = core.result();
 
-  // Degradation ladder, resolved once (validation guaranteed the names).
-  std::vector<const sched::RegistryEntry*> rungs;
-  if (config.degradation.enabled) {
-    rungs.reserve(config.degradation.rungs.size());
-    for (const std::string& name : config.degradation.rungs) {
-      rungs.push_back(sched::Registry::Default().Find(name));
-      SERPENTINE_CHECK(rungs.back() != nullptr);
-    }
-  }
-  int cpu_penalty = 0;  // extra rungs forced by the CPU-budget trigger
-  const bool cpu_budget_active =
-      config.degradation.enabled &&
-      std::isfinite(config.degradation.cpu_budget_seconds);
-
-  double clock = 0.0;
-  size_t next_arrival = 0;
-  std::deque<OnlineRequest> pending;
-  double batch_sum = 0.0;
-
-  // Reissues an op refused by an open breaker: the refusal charged the
-  // remaining cooldown, so the retry is the admitted half-open probe. Used
-  // by the fault-free execution paths (the recovering executor handles
-  // kCircuitOpen itself); with the breaker disarmed this is a straight
-  // pass-through and the arithmetic matches RunQueueSimulation exactly.
-  auto through_breaker = [&](auto issue) {
-    drive::OpResult op = issue();
-    if (op.status == drive::OpStatus::kCircuitOpen) {
-      result.breaker_wait_seconds += op.retry_after_seconds;
-      result.recovery_seconds += op.times.recovery_seconds;
-      clock += op.times.recovery_seconds;
-      result.drive_busy_seconds += op.times.recovery_seconds;
-      op = issue();
-    }
-    return op;
-  };
-
-  while (result.shed + result.completed + result.failed <
-         config.total_requests) {
-    // Admit (or shed) everything that has arrived by `clock`.
-    while (next_arrival < arrivals.size() &&
-           arrivals[next_arrival].time <= clock) {
-      const OnlineRequest& a = arrivals[next_arrival++];
-      ++result.arrivals;
-      obs::IncrementCounter("online.arrivals");
-
-      Status verdict = OkStatus();
-      if (config.admission.enabled) {
-        if (config.admission.max_queue_depth > 0 &&
-            static_cast<int>(pending.size()) >=
-                config.admission.max_queue_depth) {
-          verdict = ResourceExhaustedError(
-              "admission: queue depth " + std::to_string(pending.size()) +
-              " at capacity " +
-              std::to_string(config.admission.max_queue_depth));
-        } else if (std::isfinite(a.deadline)) {
-          double estimate =
-              FifoEstimateSeconds(model, drive.Position(), pending, a);
-          double eta = clock + config.admission.slack * estimate;
-          if (eta > a.deadline) {
-            verdict = DeadlineExceededError(
-                "admission: deadline at " + std::to_string(a.deadline) +
-                "s infeasible (estimated completion " + std::to_string(eta) +
-                "s from head position " +
-                std::to_string(drive.Position()) + ")");
-          }
-        }
-      }
-      if (!verdict.ok()) {
-        ++result.shed;
-        result.shed_records.push_back(
-            ShedRecord{a.id, a.time, a.priority, verdict});
-        obs::IncrementCounter("online.shed");
-        obs::TraceInstant(obs::TraceClock::kVirtual, "online", "shed",
-                          clock);
-        continue;
-      }
-
-      pending.push_back(a);
-      ++result.admitted;
-      obs::IncrementCounter("online.admitted");
-      if (obs::TraceRecorder* rec = obs::TraceRecorder::active()) {
-        rec->AsyncBegin(obs::TraceClock::kVirtual, "online", "request", a.id,
-                        a.time);
-        rec->CounterEvent(obs::TraceClock::kVirtual, "online.depth", a.time,
-                          static_cast<double>(pending.size()));
-      }
-    }
-
-    // All remaining arrivals may have been shed with nothing queued: idle
-    // forward to the next arrival (handled below) or finish.
-    bool no_more_arrivals = next_arrival >= arrivals.size();
-    if (pending.empty() && no_more_arrivals) break;
-
-    // Dispatch-policy deadline of the oldest pending request, computed
-    // once (see RunQueueSimulation for the ULP rationale).
-    double dispatch_deadline = std::numeric_limits<double>::infinity();
-    if (!pending.empty() &&
-        std::isfinite(config.dispatch_max_wait_seconds)) {
-      dispatch_deadline =
-          pending.front().time + config.dispatch_max_wait_seconds;
-    }
-    bool policy_fires =
-        !pending.empty() &&
-        (static_cast<int>(pending.size()) >= config.dispatch_min_batch ||
-         clock >= dispatch_deadline || no_more_arrivals);
-
-    if (!policy_fires) {
-      double next_time = dispatch_deadline;
-      if (!no_more_arrivals) {
-        next_time = std::min(next_time, arrivals[next_arrival].time);
-      }
-      SERPENTINE_CHECK(std::isfinite(next_time));
-      SERPENTINE_CHECK_GT(next_time, clock);
-      clock = next_time;
-      continue;
-    }
-
-    // ---- batch selection ----
-    // Uncapped: everything pending boards in arrival order (the queue-sim
-    // batch, bit for bit). Capped: over-aged requests board first (the
-    // aging bound beats everything, including the cap), then priority
-    // classes in arrival order.
-    size_t depth_at_dispatch = pending.size();
-    std::vector<OnlineRequest> members;
-    if (config.dispatch_max_batch <= 0 ||
-        depth_at_dispatch <= static_cast<size_t>(config.dispatch_max_batch)) {
-      members.assign(pending.begin(), pending.end());
-      pending.clear();
-    } else {
-      std::vector<size_t> order(depth_at_dispatch);
-      std::iota(order.begin(), order.end(), size_t{0});
-      auto forced = [&](size_t i) {
-        return config.max_wait_cycles > 0 &&
-               pending[i].waited_cycles >= config.max_wait_cycles - 1;
-      };
-      std::stable_sort(order.begin(), order.end(),
-                       [&](size_t a, size_t b) {
-                         bool fa = forced(a);
-                         bool fb = forced(b);
-                         if (fa != fb) return fa;
-                         return pending[a].priority < pending[b].priority;
-                       });
-      size_t take = static_cast<size_t>(config.dispatch_max_batch);
-      size_t forced_count = 0;
-      for (size_t i = 0; i < depth_at_dispatch; ++i) {
-        if (forced(i)) ++forced_count;
-      }
-      take = std::max(take, forced_count);
-      std::vector<bool> selected(depth_at_dispatch, false);
-      members.reserve(take);
-      for (size_t k = 0; k < take; ++k) {
-        selected[order[k]] = true;
-        members.push_back(pending[order[k]]);
-      }
-      std::deque<OnlineRequest> left;
-      for (size_t i = 0; i < depth_at_dispatch; ++i) {
-        if (!selected[i]) left.push_back(pending[i]);
-      }
-      pending.swap(left);
-    }
-    for (const OnlineRequest& m : members) {
-      result.max_wait_cycles_observed =
-          std::max(result.max_wait_cycles_observed, m.waited_cycles);
-    }
-    for (OnlineRequest& p : pending) ++p.waited_cycles;
-
-    std::vector<sched::Request> batch;
-    batch.reserve(members.size());
-    for (const OnlineRequest& m : members) {
-      batch.push_back(sched::Request{m.segment, 1});
-    }
-
-    // ---- degradation ladder ----
-    int rung = 0;
-    StatusOr<sched::Schedule> schedule = sched::Schedule{};
-    if (config.degradation.enabled) {
-      int depth_rung =
-          config.degradation.queue_depth_step > 0
-              ? static_cast<int>(depth_at_dispatch) /
-                    config.degradation.queue_depth_step
-              : 0;
-      rung = std::min(depth_rung + cpu_penalty,
-                      static_cast<int>(rungs.size()) - 1);
-      const sched::RegistryEntry* entry = rungs[rung];
-      auto t0 = std::chrono::steady_clock::now();
-      schedule = entry->build(model, drive.Position(), batch, entry->options);
-      if (cpu_budget_active) {
-        double build_seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          t0)
-                .count();
-        if (build_seconds > config.degradation.cpu_budget_seconds) {
-          cpu_penalty = std::min(cpu_penalty + 1,
-                                 static_cast<int>(rungs.size()) - 1);
-        } else {
-          cpu_penalty = std::max(cpu_penalty - 1, 0);
-        }
-      }
-      obs::SetGauge("online.degradation_rung", static_cast<double>(rung));
-      if (rung > 0) {
-        ++result.degraded_batches;
-        result.degradation_max_rung =
-            std::max(result.degradation_max_rung, rung);
-        obs::IncrementCounter("online.degraded_batches");
-      }
-    } else {
-      schedule = sched::BuildSchedule(model, drive.Position(), batch,
-                                      config.algorithm,
-                                      config.scheduler_options);
-    }
-    SERPENTINE_CHECK(schedule.ok());
-    ++result.batches;
-    batch_sum += static_cast<double>(members.size());
-    obs::IncrementCounter("online.batches");
-    obs::ObserveHistogram("online.batch_size",
-                          static_cast<double>(members.size()));
-    obs::TraceCounter(obs::TraceClock::kVirtual, "online.depth", clock, 0.0);
-    double dispatch_clock = clock;
-
-    // Completion matching by segment, as in RunQueueSimulation, with
-    // deadline-miss accounting layered on.
-    std::vector<bool> done(members.size(), false);
-    auto complete = [&](tape::SegmentId segment, double at, bool ok) {
-      for (size_t i = 0; i < members.size(); ++i) {
-        if (!done[i] && members[i].segment == segment) {
-          done[i] = true;
-          responses.push_back(at - members[i].time);
-          if (ok) {
-            ++result.completed;
-            obs::IncrementCounter("online.completed");
-          } else {
-            ++result.failed;
-            obs::IncrementCounter("online.failed");
-          }
-          if (at > members[i].deadline) {
-            ++result.deadline_missed;
-            obs::IncrementCounter("online.deadline_missed");
-          }
-          obs::ObserveHistogram("online.response_seconds",
-                                at - members[i].time);
-          if (obs::TraceRecorder* rec = obs::TraceRecorder::active()) {
-            rec->AsyncEnd(obs::TraceClock::kVirtual, "online", "request",
-                          members[i].id, at);
-          }
-          return;
-        }
-      }
-      SERPENTINE_CHECK(false);
-    };
-
-    if (injector != nullptr) {
-      RecoveryOptions recovery;
-      recovery.retry = config.fault_retry;
-      recovery.scheduler_options = config.scheduler_options;
-      RecoveringExecutor executor(drive, model, recovery);
-      double base = clock;
-      if (schedule->full_tape_scan) {
-        double lead = model.LocateSeconds(drive.Position(), 0);
-        base += lead;
-        clock += lead;
-        result.drive_busy_seconds += lead;
-      }
-      RecoveringExecutionResult res = executor.Execute(
-          *schedule,
-          [&](const sched::Request& req, double at, bool ok) {
-            complete(req.segment, base + at, ok);
-          });
-      clock += res.total_seconds;
-      result.drive_busy_seconds += res.total_seconds;
-      result.fault_retries += res.retries;
-      result.drive_resets += res.drive_resets;
-      result.reschedules += res.reschedules;
-      result.permanent_errors += res.permanent_errors;
-      result.recovery_seconds += res.recovery_seconds;
-      result.breaker_wait_seconds += res.breaker_wait_seconds;
-    } else if (schedule->full_tape_scan) {
-      double pass_start = clock + model.LocateSeconds(drive.Position(), 0);
-      double busy =
-          through_breaker([&] { return drive.Locate(0); }).times
-              .locate_seconds;
-      busy += through_breaker([&] {
-                return drive.ScanSegments(0, g.total_segments() - 1);
-              }).times.read_seconds;
-      busy += drive.Rewind().times.rewind_seconds;
-      for (const OnlineRequest& m : members) {
-        complete(m.segment, pass_start + model.ReadSeconds(0, m.segment),
-                 /*ok=*/true);
-      }
-      clock += busy;
-      result.drive_busy_seconds += busy;
-    } else {
-      for (const sched::Request& r : schedule->order) {
-        double step =
-            through_breaker([&] { return drive.Locate(r.segment); })
-                .times.locate_seconds;
-        step += through_breaker([&] {
-                  return drive.ReadSegments(r.segment, r.last());
-                }).times.read_seconds;
-        clock += step;
-        result.drive_busy_seconds += step;
-        complete(r.segment, clock, /*ok=*/true);
-      }
-    }
-
-    if (obs::TraceRecorder::active() != nullptr) {
-      obs::TraceComplete(obs::TraceClock::kVirtual, "online", "batch",
-                         dispatch_clock, clock,
-                         "{\"size\":" + std::to_string(members.size()) + "}");
-    }
-  }
-
-  // Drain any arrivals past the last batch (possible only when everything
-  // left was shed at ingestion above; loop exit guarantees none remain
-  // unanswered).
   SERPENTINE_CHECK_EQ(result.shed + result.completed + result.failed,
                       config.total_requests);
   SERPENTINE_CHECK_EQ(result.arrivals, config.total_requests);
 
-  if (result.batches > 0) {
-    result.mean_batch_size = batch_sum / result.batches;
-  }
-  result.makespan_seconds =
-      clock - (arrivals.empty() ? 0.0 : arrivals[0].time);
-  result.utilization = result.makespan_seconds > 0
-                           ? result.drive_busy_seconds / result.makespan_seconds
-                           : 0.0;
-  if (!responses.empty()) {
-    std::sort(responses.begin(), responses.end());
-    double sum = 0.0;
-    for (double r : responses) sum += r;
-    result.mean_response_seconds = sum / responses.size();
-    result.p95_response_seconds =
-        responses[static_cast<size_t>(0.95 * (responses.size() - 1))];
-    result.p99_response_seconds =
-        responses[static_cast<size_t>(0.99 * (responses.size() - 1))];
-    result.max_response_seconds = responses.back();
-  }
-  if (result.makespan_seconds > 0) {
-    result.throughput_per_hour = (result.completed + result.failed) /
-                                 (result.makespan_seconds / 3600.0);
-  }
-  if (health != nullptr) {
-    result.breaker_fast_fails = health->breaker().fast_fails();
-    result.breaker_transitions = health->breaker().transitions();
-  }
+  FinalizeOnlineServerResult(&result, &core.responses(), core.batch_sum(),
+                             core.clock(),
+                             arrivals.empty() ? 0.0 : arrivals[0].time);
   return result;
 }
 

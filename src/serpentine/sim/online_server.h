@@ -41,7 +41,7 @@
 
 #include "serpentine/drive/health_drive.h"
 #include "serpentine/sched/scheduler.h"
-#include "serpentine/sim/fault_injector.h"
+#include "serpentine/drive/fault_injector.h"
 #include "serpentine/sim/queue_sim.h"
 #include "serpentine/tape/locate_model.h"
 #include "serpentine/util/retry.h"
@@ -97,7 +97,7 @@ struct OnlineServerConfig {
   int dispatch_min_batch = 1;
   double dispatch_max_wait_seconds = std::numeric_limits<double>::infinity();
   int32_t seed = 1;
-  FaultProfile faults;
+  drive::FaultProfile faults;
   RetryPolicy fault_retry;
 
   /// Cap on requests dispatched per batch; the rest stay queued (and age).

@@ -94,9 +94,9 @@ QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
 
   // Fault process for this run, decorrelated per (fault seed, arrival
   // seed) pair so replications draw independent fault streams.
-  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<drive::FaultInjector> injector;
   if (config.faults.any()) {
-    injector = std::make_unique<FaultInjector>(config.faults);
+    injector = std::make_unique<drive::FaultInjector>(config.faults);
     injector->ReseedState(DeriveRand48State(config.faults.seed, config.seed));
   }
 

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "serpentine/sched/scheduler.h"
-#include "serpentine/sim/fault_injector.h"
+#include "serpentine/drive/fault_injector.h"
 #include "serpentine/tape/locate_model.h"
 #include "serpentine/util/retry.h"
 #include "serpentine/util/stats.h"
@@ -41,7 +41,7 @@ struct QueueSimConfig {
   /// batches through the RecoveringExecutor. The fault stream is seeded
   /// from (faults.seed, seed), so replications decorrelate while staying
   /// deterministic for any thread count.
-  FaultProfile faults;
+  drive::FaultProfile faults;
   /// Retry/backoff policy used by the recovering executor under faults.
   RetryPolicy fault_retry;
 };

@@ -49,7 +49,7 @@ RecoveringExecutor::RecoveringExecutor(drive::Drive& drive,
 
 RecoveringExecutor::RecoveringExecutor(const tape::LocateModel& drive,
                                        const tape::LocateModel& scheduling_model,
-                                       FaultInjector* injector,
+                                       drive::FaultInjector* injector,
                                        RecoveryOptions options)
     : scheduling_model_(scheduling_model),
       options_(std::move(options)),

@@ -36,7 +36,7 @@
 #include "serpentine/sched/request.h"
 #include "serpentine/sched/scheduler.h"
 #include "serpentine/sim/executor.h"
-#include "serpentine/sim/fault_injector.h"
+#include "serpentine/drive/fault_injector.h"
 #include "serpentine/tape/locate_model.h"
 #include "serpentine/util/retry.h"
 
@@ -104,10 +104,10 @@ class RecoveringExecutor {
   /// `injector` may be null, which disables fault injection entirely.
   RecoveringExecutor(const tape::LocateModel& drive,
                      const tape::LocateModel& scheduling_model,
-                     FaultInjector* injector, RecoveryOptions options = {});
+                     drive::FaultInjector* injector, RecoveryOptions options = {});
 
   /// Convenience: schedule repairs consult the execution drive's model.
-  RecoveringExecutor(const tape::LocateModel& drive, FaultInjector* injector,
+  RecoveringExecutor(const tape::LocateModel& drive, drive::FaultInjector* injector,
                      RecoveryOptions options = {})
       : RecoveringExecutor(drive, drive, injector, std::move(options)) {}
 

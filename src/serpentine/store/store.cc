@@ -133,7 +133,7 @@ serpentine::Status TertiaryStore::FlushTape(int tape,
                                             std::vector<PendingRead> batch,
                                             FlushReport* report) {
   if (batch.empty()) return OkStatus();
-  const tape::Dlt4000LocateModel& model = library_.model(tape);
+  const tape::LocateModel& model = library_.model(tape);
 
   int before_mounts = static_cast<int>(library_.total_mounts());
   SERPENTINE_RETURN_IF_ERROR(library_.Mount(tape));

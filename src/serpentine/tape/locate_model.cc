@@ -155,8 +155,8 @@ double Dlt4000LocateModel::TransferSeconds(int64_t bytes) const {
          (timings_.megabytes_per_second * 1024.0 * 1024.0);
 }
 
-double Dlt4000LocateModel::FullReadAndRewindSeconds() const {
-  SegmentId last = geometry_.total_segments() - 1;
+double LocateModel::FullReadAndRewindSeconds() const {
+  SegmentId last = geometry().total_segments() - 1;
   return ReadSeconds(0, last) + RewindSeconds(last);
 }
 

@@ -83,6 +83,12 @@ class LocateModel {
   /// CachedLocateModel) return false; the parallel experiment harness then
   /// runs its trial loop serially instead of racing.
   virtual bool SupportsConcurrentUse() const { return true; }
+
+  /// Seconds to read the whole tape sequentially and rewind — the READ
+  /// baseline (paper §4: "typical time ... is 14,000 seconds"). Defined for
+  /// every model family as ReadSeconds over the full span plus the rewind
+  /// from the last segment.
+  double FullReadAndRewindSeconds() const;
 };
 
 /// The serpentine locate-time model of the paper, parameterized by a tape's
@@ -128,10 +134,6 @@ class Dlt4000LocateModel : public LocateModel {
   /// destination itself for case-1 (pure read-forward) locates. Used by
   /// wear accounting to reconstruct the motion path.
   PhysicalPos ScanTargetPhysical(SegmentId src, SegmentId dst) const;
-
-  /// Seconds to read the whole tape sequentially and rewind — the READ
-  /// baseline (paper §4: "typical time ... is 14,000 seconds").
-  double FullReadAndRewindSeconds() const;
 
  private:
   /// Decomposition of one locate, shared by LocateSeconds and Classify.

@@ -1,4 +1,4 @@
-#include "serpentine/sim/fault_injector.h"
+#include "serpentine/drive/fault_injector.h"
 
 #include <cstdio>
 #include <string>
@@ -14,6 +14,16 @@
 #include "serpentine/util/lrand48.h"
 
 namespace serpentine::sim {
+
+// The fault subsystem lives in drive/ since PR 3; pull the names these
+// tests predate the move with into scope.
+using drive::ClassifyFault;
+using drive::FaultInjector;
+using drive::FaultProfile;
+using drive::FaultType;
+using drive::FaultTypeName;
+using drive::LoadFaultProfile;
+using drive::ValidateFaultProfile;
 namespace {
 
 using sched::Algorithm;

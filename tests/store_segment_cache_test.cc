@@ -1,0 +1,188 @@
+// Dedicated store::SegmentCache coverage: the hit/miss/eviction counters,
+// exact LRU victim order (including lookup refreshes changing the
+// victim), and the cache's interaction with TertiaryStore — duplicate
+// reads in one batch coalesce onto a single cache line, and a warm cache
+// answers repeats without touching the library clock.
+#include "serpentine/store/segment_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "serpentine/store/store.h"
+#include "serpentine/store/tape_library.h"
+
+namespace serpentine::store {
+namespace {
+
+using tape::Dlt4000TapeParams;
+using tape::Dlt4000Timings;
+using tape::SegmentId;
+
+TEST(SegmentCacheCountersTest, StartsCold) {
+  SegmentCache c(8);
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.capacity(), 8u);
+  EXPECT_EQ(c.hits(), 0);
+  EXPECT_EQ(c.misses(), 0);
+  EXPECT_EQ(c.evictions(), 0);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.0);  // no lookups yet: defined as 0
+}
+
+TEST(SegmentCacheCountersTest, HitRateTracksEveryLookup) {
+  SegmentCache c(8);
+  c.Insert({0, 1});
+  c.Insert({0, 2});
+  EXPECT_TRUE(c.Lookup({0, 1}));   // hit
+  EXPECT_TRUE(c.Lookup({0, 2}));   // hit
+  EXPECT_FALSE(c.Lookup({0, 3}));  // miss
+  EXPECT_TRUE(c.Lookup({0, 1}));   // hit
+  EXPECT_EQ(c.hits(), 3);
+  EXPECT_EQ(c.misses(), 1);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.75);
+}
+
+TEST(SegmentCacheCountersTest, EvictionCounterTracksOverflow) {
+  SegmentCache c(3);
+  for (int i = 0; i < 10; ++i) c.Insert({0, i});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.evictions(), 7);
+  // Only the newest three survive.
+  EXPECT_FALSE(c.Lookup({0, 6}));
+  EXPECT_TRUE(c.Lookup({0, 7}));
+  EXPECT_TRUE(c.Lookup({0, 8}));
+  EXPECT_TRUE(c.Lookup({0, 9}));
+}
+
+TEST(SegmentCacheOrderTest, EvictsInStrictInsertionOrderWithoutTouches) {
+  SegmentCache c(3);
+  c.Insert({0, 1});
+  c.Insert({0, 2});
+  c.Insert({0, 3});
+  c.Insert({0, 4});  // evicts 1
+  c.Insert({0, 5});  // evicts 2
+  EXPECT_FALSE(c.Lookup({0, 1}));
+  EXPECT_FALSE(c.Lookup({0, 2}));
+  EXPECT_TRUE(c.Lookup({0, 3}));
+  EXPECT_TRUE(c.Lookup({0, 4}));
+  EXPECT_TRUE(c.Lookup({0, 5}));
+}
+
+TEST(SegmentCacheOrderTest, LookupRefreshChangesTheVictim) {
+  SegmentCache c(3);
+  c.Insert({0, 1});
+  c.Insert({0, 2});
+  c.Insert({0, 3});
+  EXPECT_TRUE(c.Lookup({0, 1}));  // 1 is now the most recent; 2 is LRU
+  c.Insert({0, 4});               // evicts 2, not 1
+  EXPECT_TRUE(c.Lookup({0, 1}));
+  EXPECT_FALSE(c.Lookup({0, 2}));
+  EXPECT_TRUE(c.Lookup({0, 3}));
+  EXPECT_TRUE(c.Lookup({0, 4}));
+}
+
+TEST(SegmentCacheOrderTest, ReinsertRefreshesTheLine) {
+  SegmentCache c(2);
+  c.Insert({0, 1});
+  c.Insert({0, 2});
+  c.Insert({0, 1});  // refresh, not a duplicate line: 2 is the LRU
+  c.Insert({0, 3});  // evicts 2
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.Lookup({0, 1}));
+  EXPECT_FALSE(c.Lookup({0, 2}));
+}
+
+TEST(SegmentCacheOrderTest, KeysAreTapeQualified) {
+  // The same segment number on different cartridges occupies different
+  // lines and evicts independently.
+  SegmentCache c(2);
+  c.Insert({0, 7});
+  c.Insert({1, 7});
+  EXPECT_EQ(c.size(), 2u);
+  c.Insert({2, 7});  // evicts tape 0's line
+  EXPECT_FALSE(c.Lookup({0, 7}));
+  EXPECT_TRUE(c.Lookup({1, 7}));
+  EXPECT_TRUE(c.Lookup({2, 7}));
+}
+
+TEST(SegmentCacheOrderTest, ZeroCapacityCountsMissesButNeverStores) {
+  SegmentCache c(0);
+  c.Insert({0, 1});
+  EXPECT_FALSE(c.Lookup({0, 1}));
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.evictions(), 0);
+  EXPECT_EQ(c.misses(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Interaction with TertiaryStore.
+// ---------------------------------------------------------------------------
+
+TertiaryStore MakeCachingStore(size_t cache_segments) {
+  StoreOptions options;
+  options.cache_segments = cache_segments;
+  return TertiaryStore(options,
+                       TapeLibrary(Dlt4000TapeParams(), 2, Dlt4000Timings()));
+}
+
+TEST(SegmentCacheStoreTest, DuplicateReadsInOneBatchShareOneLine) {
+  TertiaryStore store = MakeCachingStore(64);
+  // Three reads of the same cold segment in one batch: all three miss (the
+  // cache fills at completion, not submission), all three complete, and
+  // the cache ends up with exactly one line for the segment.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(store.SubmitRead(0, 5000).ok());
+  EXPECT_EQ(store.pending(), 3u);
+  auto report = store.Flush();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->completed.size(), 3u);
+  for (const CompletedRead& c : report->completed) {
+    EXPECT_FALSE(c.cache_hit);
+    EXPECT_EQ(c.request.segment, 5000);
+  }
+  EXPECT_EQ(store.cache().size(), 1u);
+
+  // The batch is warm now: a fourth read never reaches the queue.
+  ASSERT_TRUE(store.SubmitRead(0, 5000).ok());
+  EXPECT_EQ(store.pending(), 0u);
+  EXPECT_EQ(store.cache().hits(), 1);
+}
+
+TEST(SegmentCacheStoreTest, MultiSegmentHitNeedsEveryResidentSegment) {
+  TertiaryStore store = MakeCachingStore(64);
+  ASSERT_TRUE(store.SubmitRead(0, 100, 4).ok());  // caches 100..103
+  ASSERT_TRUE(store.Flush().ok());
+  ASSERT_TRUE(store.SubmitRead(0, 100, 4).ok());
+  EXPECT_EQ(store.pending(), 0u);  // fully resident: immediate
+  ASSERT_TRUE(store.SubmitRead(0, 102, 4).ok());  // 104, 105 are cold
+  EXPECT_EQ(store.pending(), 1u);
+}
+
+TEST(SegmentCacheStoreTest, CacheHitsSpendNoDriveTime) {
+  TertiaryStore store = MakeCachingStore(64);
+  ASSERT_TRUE(store.SubmitRead(1, 777).ok());
+  ASSERT_TRUE(store.Flush().ok());
+  double clock = store.library().now();
+  int64_t mounts = store.library().total_mounts();
+  ASSERT_TRUE(store.SubmitRead(1, 777).ok());
+  auto report = store.Flush();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->completed.size(), 1u);
+  EXPECT_TRUE(report->completed[0].cache_hit);
+  EXPECT_EQ(report->segments_read, 0);
+  EXPECT_EQ(store.library().now(), clock);
+  EXPECT_EQ(store.library().total_mounts(), mounts);
+}
+
+TEST(SegmentCacheStoreTest, DisabledCacheKeepsEveryReadPhysical) {
+  TertiaryStore store = MakeCachingStore(0);
+  ASSERT_TRUE(store.SubmitRead(0, 4242).ok());
+  ASSERT_TRUE(store.Flush().ok());
+  ASSERT_TRUE(store.SubmitRead(0, 4242).ok());
+  EXPECT_EQ(store.pending(), 1u);  // no cache: goes back to tape
+  auto report = store.Flush();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->completed.size(), 1u);
+  EXPECT_FALSE(report->completed[0].cache_hit);
+  EXPECT_EQ(report->segments_read, 1);
+}
+
+}  // namespace
+}  // namespace serpentine::store

@@ -184,9 +184,9 @@ TEST_F(TapeLibraryTest, ErrorsNameTheOperationAndValues) {
 }
 
 TEST_F(TapeLibraryTest, MountRetriesUnderRobotFaults) {
-  sim::FaultProfile profile;
+  drive::FaultProfile profile;
   profile.mount_failure_rate = 0.5;
-  sim::FaultInjector injector(profile);
+  drive::FaultInjector injector(profile);
   library_.SetMountFaults(&injector);
   int64_t mounts = 0, retries_seen = 0;
   double clean_mount_cost = 15.0 + 40.0;
@@ -212,9 +212,9 @@ TEST_F(TapeLibraryTest, MountRetriesUnderRobotFaults) {
 }
 
 TEST_F(TapeLibraryTest, MountExhaustionReturnsResourceExhausted) {
-  sim::FaultProfile profile;
+  drive::FaultProfile profile;
   profile.mount_failure_rate = 1.0;  // the robot never succeeds
-  sim::FaultInjector injector(profile);
+  drive::FaultInjector injector(profile);
   RetryPolicy retry;
   retry.max_attempts = 3;
   library_.SetMountFaults(&injector, retry);
@@ -231,9 +231,9 @@ TEST_F(TapeLibraryTest, MountExhaustionReturnsResourceExhausted) {
 TEST_F(TapeLibraryTest, MountFaultsAreDeterministic) {
   auto run = [] {
     TapeLibrary library(Dlt4000TapeParams(), 3, Dlt4000Timings());
-    sim::FaultProfile p;
+    drive::FaultProfile p;
     p.mount_failure_rate = 0.4;
-    sim::FaultInjector injector(p);
+    drive::FaultInjector injector(p);
     library.SetMountFaults(&injector);
     for (int i = 0; i < 40; ++i) (void)library.Mount(i % 3);
     return std::pair<double, int64_t>(library.now(),
@@ -246,9 +246,9 @@ TEST_F(TapeLibraryTest, MountFaultsAreDeterministic) {
 }
 
 TEST_F(TapeLibraryTest, MountBreakerFailsFastAndRecovers) {
-  sim::FaultProfile profile;
+  drive::FaultProfile profile;
   profile.mount_failure_rate = 1.0;  // the robot always drops the cartridge
-  sim::FaultInjector injector(profile);
+  drive::FaultInjector injector(profile);
   RetryPolicy retry;
   retry.max_attempts = 4;
   library_.SetMountFaults(&injector, retry);

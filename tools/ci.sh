@@ -121,6 +121,21 @@ for config in $CONFIGS; do
       echo "python3 not on PATH; skipping the bench JSON schema check"
     fi
     echo "== overload smoke: OK =="
+
+    # Fleet smoke: the multi-library router sweep at smoke scale (exits
+    # nonzero on conservation/balance violations or on the 1-library
+    # determinism pin breaking), plus the schema check over its records.
+    echo "== fleet smoke: fleet_sweep ($build_dir) =="
+    fleet_json="$build_dir/fleet_smoke.json"
+    rm -f "$fleet_json"
+    SERPENTINE_SCALE=smoke SERPENTINE_BENCH_JSON="$fleet_json" \
+      "$build_dir/bench/fleet_sweep" > /dev/null
+    if command -v python3 >/dev/null 2>&1; then
+      python3 tools/validate_bench_json.py "$fleet_json"
+    else
+      echo "python3 not on PATH; skipping the bench JSON schema check"
+    fi
+    echo "== fleet smoke: OK =="
   fi
 done
 

@@ -68,6 +68,20 @@ else
 fi
 
 echo
+echo "== fleet sweep: libraries x replication x placement through the" \
+     "replica router (exits nonzero on invariant violations) =="
+rm -f "$OUT_DIR/BENCH_fleet.json"
+SERPENTINE_BENCH_JSON="$OUT_DIR/BENCH_fleet.json" \
+  "$BUILD_DIR/bench/fleet_sweep" > "$OUT_DIR/BENCH_fleet.txt"
+tail -n 2 "$OUT_DIR/BENCH_fleet.txt"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$(dirname "$0")/validate_bench_json.py" \
+    "$OUT_DIR/BENCH_fleet.json"
+else
+  echo "python3 not on PATH; skipping BENCH_fleet.json validation"
+fi
+
+echo
 echo "== drive ops: MeteredDrive op counts per algorithm =="
 # This run doubles as the observability sample: one Chrome trace_event
 # timeline and one metrics snapshot (see docs/observability.md).

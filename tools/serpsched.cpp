@@ -54,6 +54,16 @@
 //                      deadlines, and past a queue depth of N when given
 //   --breaker          arm the drive health circuit breaker for the
 //                      online pass (drive/health_drive.h)
+//   --fleet=N          run a fleet serving pass (fleet/fleet_server.h): N
+//                      single-cartridge libraries of the chosen drive
+//                      family, the same workload size arriving over the
+//                      logical segment space, each request routed to the
+//                      replica with the lowest estimated service time.
+//                      Honors --fault-profile and --breaker (per library).
+//   --replicas=K       copies of every logical segment, on distinct
+//                      libraries (default 1; requires K <= N)
+//   --placement=P      replica placement policy: round-robin|random|
+//                      weighted (default round-robin)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -73,7 +83,8 @@
 #include "serpentine/sched/local_search.h"
 #include "serpentine/sched/registry.h"
 #include "serpentine/sched/scheduler.h"
-#include "serpentine/sim/fault_injector.h"
+#include "serpentine/drive/fault_injector.h"
+#include "serpentine/fleet/fleet_server.h"
 #include "serpentine/sim/online_server.h"
 #include "serpentine/sim/pipeline.h"
 #include "serpentine/sim/recovering_executor.h"
@@ -109,6 +120,9 @@ struct Args {
   bool admission = false;
   int64_t admission_depth = 0;   // 0 = feasibility shedding only
   bool breaker = false;
+  int64_t fleet_libraries = 0;   // 0 = no fleet pass
+  int64_t fleet_replicas = 1;
+  std::string placement = "round-robin";
   std::vector<tape::SegmentId> segments;
 };
 
@@ -120,7 +134,8 @@ int Usage(const char* argv0) {
                "[--quiet] [--fault-profile=none|light|heavy|FILE] "
                "[--fault-seed=N] [--trace=FILE] [--metrics-json=FILE] "
                "[--pipeline=N] [--online-rate=R] [--deadline-frac=F] "
-               "[--admission[=N]] [--breaker] [segment ...]\n",
+               "[--admission[=N]] [--breaker] [--fleet=N] [--replicas=K] "
+               "[--placement=round-robin|random|weighted] [segment ...]\n",
                argv0);
   return 2;
 }
@@ -180,6 +195,12 @@ int main(int argc, char** argv) {
       if (v != nullptr) args.admission_depth = std::atoll(v);
     } else if (ParseFlag(argv[i], "--breaker", &v) && !v) {
       args.breaker = true;
+    } else if (ParseFlag(argv[i], "--fleet", &v) && v) {
+      args.fleet_libraries = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--replicas", &v) && v) {
+      args.fleet_replicas = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--placement", &v) && v) {
+      args.placement = v;
     } else if (ParseFlag(argv[i], "--explain", &v) && !v) {
       args.explain = true;
     } else if (ParseFlag(argv[i], "--improve", &v) && !v) {
@@ -381,7 +402,7 @@ int main(int argc, char** argv) {
     config.scheduler_options = (*entry)->options;
     config.seed = args.seed;
     if (!args.fault_profile.empty()) {
-      auto profile = sim::LoadFaultProfile(args.fault_profile);
+      auto profile = drive::LoadFaultProfile(args.fault_profile);
       if (!profile.ok()) {
         std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
         return 2;
@@ -434,18 +455,81 @@ int main(int argc, char** argv) {
     }
   }
 
-  bool observing = !args.trace_out.empty() || !args.metrics_out.empty();
-  if (!args.fault_profile.empty() || observing) {
-    std::unique_ptr<sim::FaultInjector> injector;
-    int32_t fault_seed = 0;
+  if (args.fleet_libraries > 0) {
+    // Fleet serving: N single-cartridge libraries, the same workload size
+    // arriving over the logical segment space, routed per request to the
+    // cheapest replica.
+    auto policy = fleet::PlacementPolicyFromString(args.placement);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+      return 2;
+    }
+    fleet::UniformFleet libraries(params, timings,
+                                  static_cast<int>(args.fleet_libraries),
+                                  /*cartridges_per_library=*/1,
+                                  args.tape_seed);
+    fleet::FleetConfig config;
+    config.serving.arrival_rate_per_hour =
+        args.online_rate > 0.0 ? args.online_rate : 60.0;
+    config.serving.total_requests = static_cast<int64_t>(requests.size());
+    config.serving.algorithm = (*entry)->algorithm;
+    config.serving.scheduler_options = (*entry)->options;
+    config.serving.seed = args.seed;
     if (!args.fault_profile.empty()) {
-      auto profile = sim::LoadFaultProfile(args.fault_profile);
+      auto profile = drive::LoadFaultProfile(args.fault_profile);
       if (!profile.ok()) {
         std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
         return 2;
       }
       if (args.fault_seed != 0) profile->seed = args.fault_seed;
-      injector = std::make_unique<sim::FaultInjector>(*profile);
+      config.serving.faults = *profile;
+    }
+    config.serving.breaker_enabled = args.breaker;
+    config.placement.policy = *policy;
+    config.placement.replication = static_cast<int>(args.fleet_replicas);
+    config.placement.seed = args.seed;
+    auto result = fleet::RunFleet(libraries.fleet(), config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "fleet serving failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "# fleet serving: %lld libraries, replication %lld, placement %s\n",
+        static_cast<long long>(args.fleet_libraries),
+        static_cast<long long>(args.fleet_replicas),
+        fleet::PlacementPolicyName(*policy));
+    std::printf(
+        "#   %lld arrivals, %lld completed, %lld failed, %lld shed, "
+        "%lld failovers\n",
+        static_cast<long long>(result->total.arrivals),
+        static_cast<long long>(result->total.completed),
+        static_cast<long long>(result->total.failed),
+        static_cast<long long>(result->total.shed),
+        static_cast<long long>(result->failovers));
+    std::printf(
+        "#   response p99 %.1f s (mean %.1f s), fleet utilization %.2f\n",
+        result->total.p99_response_seconds,
+        result->total.mean_response_seconds, result->total.utilization);
+    std::printf("#   routed per library:");
+    for (int64_t n : result->routed_per_library) {
+      std::printf(" %lld", static_cast<long long>(n));
+    }
+    std::printf("\n");
+  }
+
+  bool observing = !args.trace_out.empty() || !args.metrics_out.empty();
+  if (!args.fault_profile.empty() || observing) {
+    std::unique_ptr<drive::FaultInjector> injector;
+    int32_t fault_seed = 0;
+    if (!args.fault_profile.empty()) {
+      auto profile = drive::LoadFaultProfile(args.fault_profile);
+      if (!profile.ok()) {
+        std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+        return 2;
+      }
+      if (args.fault_seed != 0) profile->seed = args.fault_seed;
+      injector = std::make_unique<drive::FaultInjector>(*profile);
       fault_seed = profile->seed;
     }
     sim::RecoveryOptions recovery;

@@ -25,24 +25,56 @@ REQUIRED = {
     "scale": str,
 }
 
+# Figure-specific extras: records whose "figure" appears here must also
+# carry these keys (numbers finite and non-negative, same rules as the
+# base schema). Benches remain free to emit further keys beyond these.
+FIGURE_REQUIRED = {
+    "fleet": {
+        "libraries": int,
+        "replication": int,
+        "placement": str,
+        "p99_response_seconds": (int, float),
+        "utilization": (int, float),
+        "failovers": int,
+        "cartridge_mounts": int,
+        "mount_seconds": (int, float),
+    },
+    "fleet-robot": {
+        "drives": int,
+        "robot_exchanges": int,
+        "robot_wait_seconds": (int, float),
+        "busy_seconds": (int, float),
+    },
+}
 
-def validate_record(record):
-    """Returns an error string, or None when the record conforms."""
-    if not isinstance(record, dict):
-        return "record is not a JSON object"
-    for key, want in REQUIRED.items():
+
+def check_keys(record, schema):
+    """Returns an error string, or None when every schema key conforms."""
+    for key, want in schema.items():
         if key not in record:
             return f"missing key {key!r}"
         value = record[key]
         # bool is an int subclass; a true/false count is always a bug.
         if isinstance(value, bool) or not isinstance(value, want):
             return f"key {key!r} has type {type(value).__name__}"
-    for key in ("n", "trials", "threads", "wall_seconds"):
-        value = record[key]
-        if isinstance(value, float) and not math.isfinite(value):
-            return f"key {key!r} is not finite: {value!r}"
-        if value < 0:
-            return f"key {key!r} is negative: {value!r}"
+        if isinstance(value, (int, float)) and not isinstance(value, str):
+            if isinstance(value, float) and not math.isfinite(value):
+                return f"key {key!r} is not finite: {value!r}"
+            if value < 0:
+                return f"key {key!r} is negative: {value!r}"
+    return None
+
+
+def validate_record(record):
+    """Returns an error string, or None when the record conforms."""
+    if not isinstance(record, dict):
+        return "record is not a JSON object"
+    problem = check_keys(record, REQUIRED)
+    if problem is not None:
+        return problem
+    extras = FIGURE_REQUIRED.get(record["figure"])
+    if extras is not None and record["label"] != "_total":
+        return check_keys(record, extras)
     return None
 
 
