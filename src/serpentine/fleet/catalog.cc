@@ -103,7 +103,10 @@ serpentine::StatusOr<Catalog> Catalog::Build(const FleetTopology& topology,
     weight_sum += w;
   }
   if (!options.weights.empty() && weight_sum <= 0.0) {
-    return InvalidArgumentError("Catalog: weights sum to zero");
+    return InvalidArgumentError(
+        "Catalog: placement weights sum to zero — weighted placement needs "
+        "at least one library with positive weight (got " +
+        std::to_string(options.weights.size()) + " all-zero weights)");
   }
   if (logical_segments * options.replication > topology.total_segments()) {
     return ResourceExhaustedError(

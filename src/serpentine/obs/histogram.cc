@@ -1,10 +1,18 @@
 #include "serpentine/obs/histogram.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace serpentine::obs {
 
 void Histogram::Add(double seconds) {
+  if (count_ == 0) {
+    max_seconds_ = seconds;
+    min_seconds_ = seconds;
+  } else {
+    max_seconds_ = std::max(max_seconds_, seconds);
+    min_seconds_ = std::min(min_seconds_, seconds);
+  }
   ++count_;
   total_seconds_ += seconds;
   int b = 0;
@@ -17,6 +25,14 @@ void Histogram::Add(double seconds) {
 }
 
 void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    max_seconds_ = other.max_seconds_;
+    min_seconds_ = other.min_seconds_;
+  } else {
+    max_seconds_ = std::max(max_seconds_, other.max_seconds_);
+    min_seconds_ = std::min(min_seconds_, other.min_seconds_);
+  }
   for (int b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
   count_ += other.count_;
   total_seconds_ += other.total_seconds_;
@@ -36,8 +52,12 @@ double Histogram::Quantile(double q) const {
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   // Rank of the target sample, 1-based; q = 0 means the first sample.
+  // The ceil can land one past count_ when q·count rounds up through the
+  // representable doubles just above count_ − clamp to the last sample so
+  // Quantile(1.0) addresses the recorded max's bucket.
   int64_t rank = static_cast<int64_t>(std::ceil(q * static_cast<double>(count_)));
   if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
   int64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
     if (counts_[b] == 0) continue;
@@ -46,11 +66,15 @@ double Histogram::Quantile(double q) const {
       double hi = BucketCeilSeconds(b);
       double frac = static_cast<double>(rank - seen) /
                     static_cast<double>(counts_[b]);
-      return lo + frac * (hi - lo);
+      // Clamp the in-bucket interpolation to the recorded envelope: the
+      // top bucket's ceiling (and the overflow bucket's nominal 2× floor)
+      // can otherwise report a latency no sample ever reached.
+      return std::min(std::max(lo + frac * (hi - lo), min_seconds_),
+                      max_seconds_);
     }
     seen += counts_[b];
   }
-  return BucketCeilSeconds(kBuckets - 1);
+  return max_seconds_;
 }
 
 }  // namespace serpentine::obs

@@ -1,7 +1,7 @@
 // Log₂-bucketed duration histogram: the one histogram shape used across
 // the repo. Grown out of MeteredDrive's LatencyHistogram (drive/ now
 // aliases this class) and extended with the quantile-snapshot API the
-// metrics registry exports (p50/p95/p99 of locate latencies, queue
+// metrics registry exports (p50/p95/p99/p99.9 of locate latencies, queue
 // response times, backoff waits, ...).
 //
 // The class is plain and copyable — single-writer embedding (DriveMetrics,
@@ -25,11 +25,17 @@ class Histogram {
   void Add(double seconds);
 
   /// Folds every sample of `other` into this histogram. Bucket counts and
-  /// the sample count add exactly; total_seconds adds in call order.
+  /// the sample count add exactly; total_seconds adds in call order; the
+  /// recorded min/max envelope widens to cover both.
   void Merge(const Histogram& other);
 
   int64_t count() const { return count_; }
   double total_seconds() const { return total_seconds_; }
+  /// Largest / smallest sample ever recorded (0 for an empty histogram).
+  /// Quantile estimates are clamped to this envelope, so Quantile(1.0)
+  /// returns max_seconds() exactly.
+  double max_seconds() const { return count_ > 0 ? max_seconds_ : 0.0; }
+  double min_seconds() const { return count_ > 0 ? min_seconds_ : 0.0; }
   int64_t bucket(int b) const { return counts_[b]; }
   /// Lower bound of bucket `b` in seconds (0 for the underflow bucket).
   static double BucketFloorSeconds(int b);
@@ -39,14 +45,25 @@ class Histogram {
 
   /// Bucket-interpolated quantile estimate for q in [0, 1]: locates the
   /// bucket holding the ⌈q·count⌉-th sample and interpolates linearly
-  /// inside it. 0 for an empty histogram. The estimate is bounded by the
-  /// bucket edges, so it is within 2× of the true sample quantile.
+  /// inside it, then clamps to the recorded [min, max] envelope.
+  ///
+  /// Error bounds: the estimate lies in the ⌈q·count⌉-th sample's bucket
+  /// (intersected with [min, max]), so it is within one log₂ bucket — a
+  /// factor of 2 — of the true sample quantile, and never above the
+  /// recorded max nor below the recorded min. This holds for every q
+  /// including the deep tail (p99.9): tail quantiles are no less accurate
+  /// than central ones, only sparser buckets interpolate more coarsely.
+  /// Degenerate cases are defined exactly: an empty histogram returns 0
+  /// for every q, a single-sample histogram returns that sample, and
+  /// Quantile(1.0) returns the recorded max.
   double Quantile(double q) const;
 
  private:
   int64_t counts_[kBuckets] = {};
   int64_t count_ = 0;
   double total_seconds_ = 0.0;
+  double max_seconds_ = 0.0;
+  double min_seconds_ = 0.0;
 };
 
 }  // namespace serpentine::obs

@@ -105,6 +105,8 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     hs.p50 = hs.histogram.Quantile(0.50);
     hs.p95 = hs.histogram.Quantile(0.95);
     hs.p99 = hs.histogram.Quantile(0.99);
+    hs.p999 = hs.histogram.Quantile(0.999);
+    hs.max = hs.histogram.max_seconds();
     snap.histograms.emplace_back(name, hs);
   }
   return snap;
@@ -146,6 +148,10 @@ std::string MetricsSnapshot::ToJson() const {
     AppendNum(&out, hs.p95);
     out += ",\"p99\":";
     AppendNum(&out, hs.p99);
+    out += ",\"p999\":";
+    AppendNum(&out, hs.p999);
+    out += ",\"max\":";
+    AppendNum(&out, hs.max);
     out += ",\"buckets\":[";
     bool first_bucket = true;
     for (int b = 0; b < Histogram::kBuckets; ++b) {

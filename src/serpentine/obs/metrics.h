@@ -82,12 +82,16 @@ class HistogramCell {
   Histogram histogram_;
 };
 
-/// Point-in-time copy of one histogram with its quantile estimates.
+/// Point-in-time copy of one histogram with its quantile estimates
+/// (bucket-interpolated, clamped to the recorded min/max — see
+/// Histogram::Quantile for the error bounds that make p999 trustworthy).
 struct HistogramSnapshot {
   Histogram histogram;
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
+  double max = 0.0;
 };
 
 /// Point-in-time copy of a whole registry, sorted by metric name — the
@@ -98,9 +102,9 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 
   /// One pretty-stable JSON object: {"counters":{...},"gauges":{...},
-  /// "histograms":{name:{count,total_seconds,p50,p95,p99,buckets:[[floor,
-  /// n],...]}}}. Keys are sorted, so two snapshots with the same totals
-  /// serialize identically.
+  /// "histograms":{name:{count,total_seconds,p50,p95,p99,p999,max,
+  /// buckets:[[floor,n],...]}}}. Keys are sorted, so two snapshots with
+  /// the same totals serialize identically.
   std::string ToJson() const;
 };
 

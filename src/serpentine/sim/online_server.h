@@ -91,7 +91,7 @@ struct DegradationPolicy {
 struct OnlineServerConfig {
   /// Base queue-simulation knobs; identical semantics to QueueSimConfig.
   double arrival_rate_per_hour = 60.0;
-  int total_requests = 400;
+  int64_t total_requests = 400;
   sched::Algorithm algorithm = sched::Algorithm::kLoss;
   sched::SchedulerOptions scheduler_options;
   int dispatch_min_batch = 1;
@@ -143,16 +143,16 @@ struct ShedRecord {
 struct OnlineServerResult {
   /// Population accounting; shed + completed + failed == arrivals always
   /// holds (the chaos test asserts it).
-  int arrivals = 0;
-  int admitted = 0;
-  int completed = 0;  ///< answered OK
-  int failed = 0;     ///< answered with an error (media / retry exhaustion)
-  int shed = 0;       ///< rejected at admission, never dispatched
+  int64_t arrivals = 0;
+  int64_t admitted = 0;
+  int64_t completed = 0;  ///< answered OK
+  int64_t failed = 0;  ///< answered with an error (media / retry exhaustion)
+  int64_t shed = 0;    ///< rejected at admission, never dispatched
   /// Admitted requests answered after their deadline (counted in
   /// completed/failed too; a miss is late, not lost).
-  int deadline_missed = 0;
+  int64_t deadline_missed = 0;
 
-  int batches = 0;
+  int64_t batches = 0;
   double mean_batch_size = 0.0;
   double makespan_seconds = 0.0;
   double drive_busy_seconds = 0.0;

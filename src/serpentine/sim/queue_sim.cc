@@ -6,6 +6,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "serpentine/drive/fault_drive.h"
@@ -42,6 +43,15 @@ Status ValidateQueueSimConfig(const QueueSimConfig& config) {
   if (config.total_requests < 1) {
     return InvalidArgumentError(
         "QueueSimConfig: total_requests must be >= 1, got " +
+        std::to_string(config.total_requests));
+  }
+  // The per-request async-span id packs (seed << 32) | arrival index; an
+  // index at or above 2^32 would silently bleed into the seed bits and
+  // alias another run's ids, so reject it here instead.
+  if (config.total_requests >= (int64_t{1} << 32)) {
+    return InvalidArgumentError(
+        "QueueSimConfig: total_requests must be < 2^32 (async-span ids pack "
+        "the arrival index into 32 bits), got " +
         std::to_string(config.total_requests));
   }
   if (config.dispatch_min_batch < 1) {
@@ -81,7 +91,7 @@ QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
   arrivals.reserve(config.total_requests);
   double t = 0.0;
   double mean_gap = 3600.0 / config.arrival_rate_per_hour;
-  for (int i = 0; i < config.total_requests; ++i) {
+  for (int64_t i = 0; i < config.total_requests; ++i) {
     double u = rng.NextDouble();
     t += -std::log(1.0 - u) * mean_gap;
     arrivals.push_back(Arrival{t, rng.NextBounded(g.total_segments()),
@@ -177,27 +187,29 @@ QueueSimResult RunQueueSimulation(const tape::LocateModel& model,
     double dispatch_clock = clock;
 
     // Execute step by step so each request gets a completion stamp.
-    // Requests map back to arrivals by segment (duplicates: any order).
-    std::vector<bool> done(members.size(), false);
+    // Requests map back to arrivals by segment; duplicates resolve to the
+    // oldest unmatched member (a per-segment FIFO of member indices — the
+    // same request the old linear first-undone scan picked, without the
+    // O(batch²) cost at large batch sizes).
+    std::unordered_map<tape::SegmentId, std::deque<size_t>> waiting;
+    for (size_t i = 0; i < members.size(); ++i) {
+      waiting[members[i].segment].push_back(i);
+    }
     auto complete = [&](tape::SegmentId segment, double at, bool ok) {
-      for (size_t i = 0; i < members.size(); ++i) {
-        if (!done[i] && members[i].segment == segment) {
-          done[i] = true;
-          responses.push_back(at - members[i].time);
-          ++result.completed;
-          if (!ok) ++result.failed;
-          obs::IncrementCounter("queue.completed");
-          if (!ok) obs::IncrementCounter("queue.failed");
-          obs::ObserveHistogram("queue.response_seconds",
-                                at - members[i].time);
-          if (obs::TraceRecorder* rec = obs::TraceRecorder::active()) {
-            rec->AsyncEnd(obs::TraceClock::kVirtual, "queue", "request",
-                          members[i].id, at);
-          }
-          return;
-        }
+      auto it = waiting.find(segment);
+      SERPENTINE_CHECK(it != waiting.end() && !it->second.empty());
+      size_t i = it->second.front();
+      it->second.pop_front();
+      responses.push_back(at - members[i].time);
+      ++result.completed;
+      if (!ok) ++result.failed;
+      obs::IncrementCounter("queue.completed");
+      if (!ok) obs::IncrementCounter("queue.failed");
+      obs::ObserveHistogram("queue.response_seconds", at - members[i].time);
+      if (obs::TraceRecorder* rec = obs::TraceRecorder::active()) {
+        rec->AsyncEnd(obs::TraceClock::kVirtual, "queue", "request",
+                      members[i].id, at);
       }
-      SERPENTINE_CHECK(false);
     };
 
     if (injector != nullptr) {

@@ -24,8 +24,10 @@ struct QueueSimConfig {
   /// saturates near 3600 / E[locate] ≈ 44/h; scheduling raises the
   /// sustainable rate severalfold.
   double arrival_rate_per_hour = 60.0;
-  /// Simulation length in arrivals.
-  int total_requests = 400;
+  /// Simulation length in arrivals. Must stay below 2^32: the per-request
+  /// async-span id packs (seed << 32) | arrival index, and the validator
+  /// rejects lengths that would wrap the index field.
+  int64_t total_requests = 400;
   /// Scheduling algorithm per dispatched batch.
   sched::Algorithm algorithm = sched::Algorithm::kLoss;
   sched::SchedulerOptions scheduler_options;
@@ -47,8 +49,8 @@ struct QueueSimConfig {
 };
 
 struct QueueSimResult {
-  int completed = 0;
-  int batches = 0;
+  int64_t completed = 0;
+  int64_t batches = 0;
   double mean_batch_size = 0.0;
   double makespan_seconds = 0.0;     ///< arrival of first to last completion
   double drive_busy_seconds = 0.0;
@@ -62,7 +64,7 @@ struct QueueSimResult {
   /// `failed` requests completed with an error (unreadable media / retry
   /// exhaustion); they are included in `completed` — the client always gets
   /// an answer.
-  int failed = 0;
+  int64_t failed = 0;
   int64_t fault_retries = 0;
   int64_t drive_resets = 0;
   int64_t reschedules = 0;
@@ -71,7 +73,7 @@ struct QueueSimResult {
 };
 
 /// Rejects NaN/negative/inconsistent configurations with a descriptive
-/// status: positive finite arrival rate, total_requests >= 1,
+/// status: positive finite arrival rate, 1 <= total_requests < 2^32,
 /// dispatch_min_batch >= 1, dispatch_max_wait_seconds > 0 (inf allowed,
 /// NaN not), plus ValidateFaultProfile / ValidateRetryPolicy on the nested
 /// fault and retry policies.

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <utility>
@@ -123,6 +124,17 @@ class ServingCore {
   /// Performs at most one action. See ServingStep.
   ServingStep Step();
 
+  /// Observer invoked once per answered request, after the core's own
+  /// accounting, with the original request, its virtual completion time,
+  /// and whether it was answered OK. Null (the default) skips the call
+  /// entirely — the callback only observes, so installing one never
+  /// perturbs the trajectory. The stress harness uses it to credit
+  /// tenants, release coalesced duplicates, and fill the segment cache.
+  void set_completion_callback(
+      std::function<void(const ServingRequest&, double, bool)> cb) {
+    on_complete_ = std::move(cb);
+  }
+
   // ---- router-facing snapshot ----
   double clock() const { return clock_; }
   /// Requests routed here and not yet dispatched (admitted + undelivered).
@@ -185,6 +197,8 @@ class ServingCore {
   std::deque<ServingRequest> pending_;
   double input_bound_ = 0.0;
   bool stream_done_ = false;
+
+  std::function<void(const ServingRequest&, double, bool)> on_complete_;
 
   OnlineServerResult result_;
   std::vector<double> responses_;

@@ -1,0 +1,484 @@
+#include "serpentine/stress/stress.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "serpentine/fleet/catalog.h"
+#include "serpentine/fleet/router.h"
+#include "serpentine/sim/serving_core.h"
+#include "serpentine/util/check.h"
+#include "serpentine/util/env.h"
+#include "serpentine/util/lrand48.h"
+#include "serpentine/util/thread_pool.h"
+#include "serpentine/workload/arrival_process.h"
+
+namespace serpentine::stress {
+namespace {
+
+/// Stream indices deriving the tenant and segment rand48 streams from the
+/// config seed. Fixed, distinct from the online-extras stream (1000003),
+/// the library-fault stride (1000033), and each other; they must never
+/// change — the stress determinism tests pin the draws.
+constexpr int64_t kTenantStream = 1000081;
+constexpr int64_t kSegmentStream = 1000099;
+
+/// LRU set of logical segments.
+class SegmentCache {
+ public:
+  explicit SegmentCache(int64_t capacity) : capacity_(capacity) {}
+
+  bool Touch(int64_t segment) {
+    if (capacity_ <= 0) return false;
+    auto it = index_.find(segment);
+    if (it == index_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+
+  void Insert(int64_t segment) {
+    if (capacity_ <= 0) return;
+    auto it = index_.find(segment);
+    if (it != index_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.push_front(segment);
+    index_[segment] = order_.begin();
+    if (static_cast<int64_t>(order_.size()) > capacity_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+  }
+
+ private:
+  int64_t capacity_;
+  std::list<int64_t> order_;
+  std::unordered_map<int64_t, std::list<int64_t>::iterator> index_;
+};
+
+struct Waiter {
+  int tenant = 0;
+  double time = 0.0;
+};
+
+/// What the harness remembers about a pushed (primary) request.
+struct PushedMeta {
+  int tenant = 0;
+  int64_t logical = 0;
+};
+
+double JainIndex(const std::vector<TenantStats>& tenants) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (const TenantStats& t : tenants) {
+    double answered =
+        static_cast<double>(t.cache_hits + t.coalesced + t.completed +
+                            t.failed);
+    double x = t.weight > 0.0 ? answered / t.weight : 0.0;
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(tenants.size()) * sum_sq);
+}
+
+}  // namespace
+
+Status ValidateStressConfig(const StressConfig& config) {
+  // Trial-build the process: MakeArrivalProcess owns the name/rate rules.
+  SERPENTINE_RETURN_IF_ERROR(workload::MakeArrivalProcess(
+                                 config.process, config.arrival_rate_per_hour,
+                                 config.seed)
+                                 .status());
+  for (const TenantSpec& t : config.tenants) {
+    if (!std::isfinite(t.weight) || t.weight <= 0.0) {
+      return InvalidArgumentError(
+          "StressConfig: tenant '" + t.name +
+          "' weight must be finite and > 0, got " + std::to_string(t.weight));
+    }
+  }
+  if (config.cache_capacity < 0) {
+    return InvalidArgumentError(
+        "StressConfig: cache_capacity must be >= 0 (0 = disabled), got " +
+        std::to_string(config.cache_capacity));
+  }
+  if (config.libraries < 1) {
+    return InvalidArgumentError(
+        "StressConfig: libraries must be >= 1, got " +
+        std::to_string(config.libraries));
+  }
+  // The serving config is validated with the stress arrival knobs patched
+  // in, so total_requests inherits QueueSimConfig's [1, 2^32) id-packing
+  // bound.
+  sim::OnlineServerConfig serving = config.serving;
+  serving.arrival_rate_per_hour = config.arrival_rate_per_hour;
+  serving.total_requests = config.total_requests;
+  serving.seed = config.seed;
+  SERPENTINE_RETURN_IF_ERROR(sim::ValidateOnlineServerConfig(serving));
+  SERPENTINE_RETURN_IF_ERROR(fleet::ValidateRouterOptions(config.router));
+  return OkStatus();
+}
+
+StatusOr<StressResult> RunStress(
+    const std::vector<std::vector<const tape::LocateModel*>>& models,
+    const StressConfig& config) {
+  SERPENTINE_RETURN_IF_ERROR(ValidateStressConfig(config));
+  if (static_cast<int>(models.size()) != config.libraries) {
+    return InvalidArgumentError(
+        "RunStress: config names " + std::to_string(config.libraries) +
+        " libraries but " + std::to_string(models.size()) +
+        " model vectors were passed");
+  }
+  fleet::Fleet fl;
+  fl.models = models;
+  for (int lib = 0; lib < fl.libraries(); ++lib) {
+    if (fl.models[lib].empty()) {
+      return InvalidArgumentError("RunStress: library " +
+                                  std::to_string(lib) + " has no cartridges");
+    }
+    for (const tape::LocateModel* m : fl.models[lib]) {
+      if (m == nullptr) {
+        return InvalidArgumentError("RunStress: library " +
+                                    std::to_string(lib) +
+                                    " holds a null model");
+      }
+    }
+  }
+
+  // Catalog over the fleet topology, logical space = the smallest
+  // library's capacity (the RunFleet default — placement always succeeds).
+  fleet::FleetTopology topology = fl.Topology();
+  int64_t logical = topology.library_segments(0);
+  for (int lib = 1; lib < fl.libraries(); ++lib) {
+    logical = std::min(logical, topology.library_segments(lib));
+  }
+  SERPENTINE_ASSIGN_OR_RETURN(
+      fleet::Catalog catalog,
+      fleet::Catalog::Build(topology, logical, config.placement));
+
+  // The serving engines. The patched arrival knobs are inert (arrivals are
+  // pushed below) but keep the stored config self-consistent.
+  sim::OnlineServerConfig serving = config.serving;
+  serving.arrival_rate_per_hour = config.arrival_rate_per_hour;
+  serving.total_requests = config.total_requests;
+  serving.seed = config.seed;
+
+  constexpr int64_t kLibraryFaultStride = 1000033;  // fleet_server.cc's
+  std::vector<std::unique_ptr<sim::ServingCore>> cores;
+  cores.reserve(fl.libraries());
+  for (int lib = 0; lib < fl.libraries(); ++lib) {
+    cores.push_back(std::make_unique<sim::ServingCore>(
+        fl.models[lib], serving,
+        static_cast<int64_t>(serving.seed) + kLibraryFaultStride * lib,
+        config.mount_exchange_seconds));
+  }
+  fleet::Router router(&catalog, fl.libraries(), config.router);
+
+  // Decorrelated request-mix streams.
+  SERPENTINE_ASSIGN_OR_RETURN(
+      std::unique_ptr<workload::ArrivalProcess> process,
+      workload::MakeArrivalProcess(config.process,
+                                   config.arrival_rate_per_hour,
+                                   config.seed));
+  Lrand48 tenant_rng;
+  tenant_rng.SeedState(DeriveRand48State(config.seed, kTenantStream));
+  Lrand48 segment_rng;
+  segment_rng.SeedState(DeriveRand48State(config.seed, kSegmentStream));
+
+  StressResult out;
+  out.tenants.resize(config.tenants.empty() ? 1 : config.tenants.size());
+  double weight_sum = 0.0;
+  for (size_t i = 0; i < out.tenants.size(); ++i) {
+    if (config.tenants.empty()) {
+      out.tenants[i].name = "t0";
+      out.tenants[i].weight = 1.0;
+    } else {
+      out.tenants[i].name = config.tenants[i].name;
+      out.tenants[i].weight = config.tenants[i].weight;
+    }
+    weight_sum += out.tenants[i].weight;
+  }
+
+  SegmentCache cache(config.cache_capacity);
+  // Coalescing state: logical segment → waiters riding the in-flight
+  // primary. Only populated when coalescing is on (at most one in-flight
+  // primary per segment then).
+  std::unordered_map<int64_t, std::vector<Waiter>> inflight;
+  std::unordered_map<int64_t, PushedMeta> pushed;  // primary id → meta
+
+  auto answer = [&](int tenant, double latency) {
+    out.latency.Add(latency);
+    out.tenants[tenant].response.Add(latency);
+  };
+
+  // Per-core completion hook: credit the primary's tenant, fill the
+  // cache, release coalesced waiters.
+  for (std::unique_ptr<sim::ServingCore>& core : cores) {
+    core->set_completion_callback([&](const sim::ServingRequest& req,
+                                      double at, bool ok) {
+      auto it = pushed.find(req.id);
+      SERPENTINE_CHECK(it != pushed.end());
+      PushedMeta meta = it->second;
+      pushed.erase(it);
+      TenantStats& t = out.tenants[meta.tenant];
+      if (ok) {
+        ++t.completed;
+        cache.Insert(meta.logical);
+      } else {
+        ++t.failed;
+      }
+      answer(meta.tenant, at - req.time);
+      auto fit = inflight.find(meta.logical);
+      if (fit != inflight.end()) {
+        for (const Waiter& w : fit->second) {
+          ++out.coalesced;
+          ++out.tenants[w.tenant].coalesced;
+          answer(w.tenant, at - w.time);
+        }
+        inflight.erase(fit);
+      }
+    });
+  }
+
+  // Shed draining: the engine records sheds in result().shed_records but
+  // fires no callback; consume the growth after every crank so waiters on
+  // a shed primary are released (as sheds) promptly.
+  std::vector<size_t> shed_seen(cores.size(), 0);
+  int64_t shed_waiters = 0;
+  auto drain_sheds = [&] {
+    for (size_t c = 0; c < cores.size(); ++c) {
+      const std::vector<sim::ShedRecord>& records =
+          cores[c]->result().shed_records;
+      for (; shed_seen[c] < records.size(); ++shed_seen[c]) {
+        auto it = pushed.find(records[shed_seen[c]].id);
+        SERPENTINE_CHECK(it != pushed.end());
+        PushedMeta meta = it->second;
+        pushed.erase(it);
+        ++out.tenants[meta.tenant].shed;
+        auto fit = inflight.find(meta.logical);
+        if (fit != inflight.end()) {
+          for (const Waiter& w : fit->second) {
+            ++shed_waiters;
+            ++out.tenants[w.tenant].shed;
+          }
+          inflight.erase(fit);
+        }
+      }
+    }
+  };
+
+  auto crank_to = [&](double t) {
+    for (std::unique_ptr<sim::ServingCore>& core : cores) {
+      core->AdvanceInputBound(t);
+      while (core->Step() == sim::ServingStep::kRan) {
+      }
+    }
+    drain_sheds();
+  };
+
+  double first_arrival = 0.0;
+  double last_arrival = 0.0;
+  std::vector<fleet::ReplicaScore> scores;
+  for (int64_t i = 0; i < config.total_requests; ++i) {
+    double t = process->NextSeconds();
+    if (i == 0) first_arrival = t;
+    last_arrival = t;
+    // The tenant and segment draws are consumed unconditionally, so the
+    // stream of (time, tenant, segment) triples is independent of cache
+    // and coalescing outcomes.
+    int tenant = 0;
+    {
+      double u = tenant_rng.NextDouble() * weight_sum;
+      double acc = 0.0;
+      for (size_t k = 0; k < out.tenants.size(); ++k) {
+        acc += out.tenants[k].weight;
+        if (u < acc || k + 1 == out.tenants.size()) {
+          tenant = static_cast<int>(k);
+          break;
+        }
+      }
+    }
+    int64_t segment = segment_rng.NextBounded(logical);
+    ++out.arrivals;
+    ++out.tenants[tenant].arrivals;
+
+    // Let every core serve up to the arrival instant before the request
+    // looks at cache/in-flight state — the trajectory is then a pure
+    // function of the config, independent of any host-side interleaving.
+    crank_to(t);
+
+    if (cache.Touch(segment)) {
+      ++out.cache_hits;
+      ++out.tenants[tenant].cache_hits;
+      answer(tenant, 0.0);
+      continue;
+    }
+    if (config.coalesce_duplicates) {
+      auto it = inflight.find(segment);
+      if (it != inflight.end()) {
+        it->second.push_back(Waiter{tenant, t});
+        continue;
+      }
+    }
+
+    // Primary read: score the replicas and push to the chosen core.
+    sim::ServingRequest req;
+    req.time = t;
+    req.id = (static_cast<int64_t>(config.seed) << 32) | i;
+    const std::vector<fleet::ReplicaLocation>& replicas =
+        catalog.replicas(segment);
+    scores.resize(replicas.size());
+    for (size_t r = 0; r < replicas.size(); ++r) {
+      const sim::ServingCore& core = *cores[replicas[r].library];
+      // With one replica the bid is decided; skip the O(queue-depth)
+      // estimate that would dominate saturated million-request runs.
+      scores[r].seconds =
+          replicas.size() == 1
+              ? 0.0
+              : std::max(core.clock() - t, 0.0) +
+                    core.EstimateServiceSeconds(replicas[r].cartridge,
+                                                replicas[r].segment);
+      scores[r].breaker_open = core.breaker_open();
+    }
+    fleet::RouteDecision decision = router.Route(segment, scores);
+    req.segment = decision.location.segment;
+    req.cartridge = decision.location.cartridge;
+    cores[decision.location.library]->Push(req);
+    pushed[req.id] = PushedMeta{tenant, segment};
+    if (config.coalesce_duplicates) inflight[segment];  // open the entry
+    ++out.dispatched;
+  }
+
+  for (std::unique_ptr<sim::ServingCore>& core : cores) {
+    core->FinishInput();
+    while (core->Step() == sim::ServingStep::kRan) {
+    }
+    SERPENTINE_CHECK(core->Step() == sim::ServingStep::kDone);
+    core->FinishResult();
+  }
+  drain_sheds();
+  SERPENTINE_CHECK(pushed.empty());
+  SERPENTINE_CHECK(inflight.empty());
+
+  // ---- aggregation ----
+  double end_clock = 0.0;
+  double batch_sum = 0.0;
+  for (std::unique_ptr<sim::ServingCore>& core : cores) {
+    const sim::OnlineServerResult& r = core->result();
+    out.engine.arrivals += r.arrivals;
+    out.engine.admitted += r.admitted;
+    out.engine.completed += r.completed;
+    out.engine.failed += r.failed;
+    out.engine.shed += r.shed;
+    out.engine.deadline_missed += r.deadline_missed;
+    out.engine.batches += r.batches;
+    out.engine.drive_busy_seconds += r.drive_busy_seconds;
+    out.engine.fault_retries += r.fault_retries;
+    out.engine.drive_resets += r.drive_resets;
+    out.engine.reschedules += r.reschedules;
+    out.engine.permanent_errors += r.permanent_errors;
+    out.engine.recovery_seconds += r.recovery_seconds;
+    out.engine.max_wait_cycles_observed = std::max(
+        out.engine.max_wait_cycles_observed, r.max_wait_cycles_observed);
+    out.engine.degraded_batches += r.degraded_batches;
+    out.engine.degradation_max_rung =
+        std::max(out.engine.degradation_max_rung, r.degradation_max_rung);
+    out.engine.breaker_fast_fails += r.breaker_fast_fails;
+    out.engine.breaker_wait_seconds += r.breaker_wait_seconds;
+    batch_sum += core->batch_sum();
+    end_clock = std::max(end_clock, core->clock());
+  }
+  if (out.engine.batches > 0) {
+    out.engine.mean_batch_size = batch_sum / out.engine.batches;
+  }
+
+  out.completed = out.engine.completed;
+  out.failed = out.engine.failed;
+  out.shed = out.engine.shed + shed_waiters;
+  SERPENTINE_CHECK_EQ(out.engine.arrivals, out.dispatched);
+  // The conservation identity: every arrival took exactly one terminal
+  // path.
+  SERPENTINE_CHECK_EQ(out.cache_hits + out.coalesced + out.completed +
+                          out.failed + out.shed,
+                      out.arrivals);
+
+  out.makespan_seconds = std::max(end_clock, last_arrival) - first_arrival;
+  double arrival_span = last_arrival - first_arrival;
+  out.offered_rate_per_hour =
+      arrival_span > 0.0 ? out.arrivals / (arrival_span / 3600.0) : 0.0;
+  int64_t answered = out.arrivals - out.shed;
+  out.throughput_per_hour =
+      out.makespan_seconds > 0.0
+          ? answered / (out.makespan_seconds / 3600.0)
+          : 0.0;
+  out.utilization = out.makespan_seconds > 0.0
+                        ? out.engine.drive_busy_seconds / out.makespan_seconds
+                        : 0.0;
+
+  if (out.latency.count() > 0) {
+    out.mean_response_seconds =
+        out.latency.total_seconds() / out.latency.count();
+    out.p50_response_seconds = out.latency.Quantile(0.50);
+    out.p95_response_seconds = out.latency.Quantile(0.95);
+    out.p99_response_seconds = out.latency.Quantile(0.99);
+    out.p999_response_seconds = out.latency.Quantile(0.999);
+    out.max_response_seconds = out.latency.max_seconds();
+  }
+  out.fairness_jain = JainIndex(out.tenants);
+  return out;
+}
+
+StatusOr<ReplicatedStressStats> RunReplicatedStress(
+    const std::vector<std::vector<const tape::LocateModel*>>& models,
+    const StressConfig& config, int replications, int threads) {
+  if (replications < 1) {
+    return InvalidArgumentError(
+        "RunReplicatedStress: replications must be >= 1, got " +
+        std::to_string(replications));
+  }
+  SERPENTINE_RETURN_IF_ERROR(ValidateStressConfig(config));
+  ReplicatedStressStats stats;
+  stats.results.resize(replications);
+
+  // Replica r's seed comes from the derived stream r regardless of which
+  // worker runs it; each replica writes only its own slot.
+  auto run = [&](int64_t r) {
+    StressConfig replica = config;
+    replica.seed = static_cast<int32_t>(DeriveRand48State(config.seed, r) &
+                                        0x7FFFFFFF);
+    StatusOr<StressResult> result = RunStress(models, replica);
+    SERPENTINE_CHECK(result.ok());  // config validated above
+    stats.results[r] = std::move(result).value();
+  };
+  bool concurrent = true;
+  for (const std::vector<const tape::LocateModel*>& lib : models) {
+    for (const tape::LocateModel* m : lib) {
+      if (m == nullptr || !m->SupportsConcurrentUse()) concurrent = false;
+    }
+  }
+  int workers = concurrent ? ResolveThreadCount(threads) : 1;
+  if (workers > 1 && replications > 1) {
+    ParallelFor(&ThreadPool::Shared(), replications, workers, run);
+  } else {
+    for (int64_t r = 0; r < replications; ++r) run(r);
+  }
+
+  // Fold in replica order: thread-count invariant.
+  for (const StressResult& r : stats.results) {
+    stats.p99_response_seconds.Add(r.p99_response_seconds);
+    stats.throughput_per_hour.Add(r.throughput_per_hour);
+    stats.shed_fraction.Add(
+        r.arrivals > 0 ? static_cast<double>(r.shed) / r.arrivals : 0.0);
+    stats.cache_hit_fraction.Add(
+        r.arrivals > 0 ? static_cast<double>(r.cache_hits) / r.arrivals
+                       : 0.0);
+    stats.fairness_jain.Add(r.fairness_jain);
+  }
+  return stats;
+}
+
+}  // namespace serpentine::stress

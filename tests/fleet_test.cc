@@ -98,6 +98,35 @@ TEST(CatalogTest, WeightedPlacementFollowsTheWeights) {
   EXPECT_EQ(catalog->placed_per_library()[2], 0);
 }
 
+TEST(CatalogTest, SingleNonzeroWeightCollapsesToThatLibrary) {
+  // Zero-weight libraries must never be drawn, even when they are the
+  // majority of the fleet.
+  FleetTopology t = UniformTopology(3, 1, 20);
+  PlacementOptions options;
+  options.policy = PlacementPolicy::kWeighted;
+  options.weights = {0.0, 1.0, 0.0};
+  auto catalog = Catalog::Build(t, 15, options);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  EXPECT_EQ(catalog->placed_per_library()[0], 0);
+  EXPECT_EQ(catalog->placed_per_library()[1], 15);
+  EXPECT_EQ(catalog->placed_per_library()[2], 0);
+}
+
+TEST(CatalogTest, AllZeroWeightsFailWithActionableMessage) {
+  FleetTopology t = UniformTopology(3, 1, 20);
+  PlacementOptions options;
+  options.policy = PlacementPolicy::kWeighted;
+  options.weights = {0.0, 0.0, 0.0};
+  Status s = Catalog::Build(t, 5, options).status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // The message should say what is wrong (zero total mass), not just that
+  // the weights are "invalid".
+  EXPECT_NE(s.ToString().find("sum to zero"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.ToString().find("positive weight"), std::string::npos)
+      << s.ToString();
+}
+
 TEST(CatalogTest, RejectsImpossibleRequests) {
   FleetTopology empty;
   PlacementOptions options;

@@ -86,8 +86,10 @@ TEST(HistogramTest, HugeValueClampsToOverflowBucket) {
   Histogram h;
   h.Add(1e12);
   EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1);
-  EXPECT_LE(h.Quantile(1.0),
-            Histogram::BucketCeilSeconds(Histogram::kBuckets - 1));
+  // A single sample is its own quantile for every q — the recorded-max
+  // clamp beats the overflow bucket's nominal ceiling.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1e12);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1e12);
 }
 
 TEST(HistogramTest, BucketEdgesArePowersOfTwo) {
@@ -111,9 +113,77 @@ TEST(HistogramTest, MergeAddsCountsExactly) {
   EXPECT_EQ(total_buckets, 4);
 }
 
+TEST(HistogramTest, QuantileNeverExceedsRecordedMax) {
+  // Bucket interpolation alone would report up to the bucket ceiling
+  // (e.g. 4.0 for a sample at 2.1); the min/max envelope pins it down.
+  Histogram h;
+  h.Add(0.7);
+  h.Add(1.3);
+  h.Add(2.1);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 2.1);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 0.7);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_LE(h.Quantile(q), 2.1) << "q=" << q;
+    EXPECT_GE(h.Quantile(q), 0.7) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.1);
+}
+
+TEST(HistogramTest, TailQuantilesStayOrderedThroughP999) {
+  Histogram h;
+  Lrand48 rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    h.Add(0.01 * static_cast<double>(1 + rng.NextBounded(1000000)));
+  }
+  double p50 = h.Quantile(0.50);
+  double p95 = h.Quantile(0.95);
+  double p99 = h.Quantile(0.99);
+  double p999 = h.Quantile(0.999);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_LE(p999, h.max_seconds());
+}
+
+TEST(HistogramTest, MergeWidensTheMinMaxEnvelope) {
+  Histogram a;
+  Histogram b;
+  a.Add(5.0);
+  b.Add(0.25);
+  b.Add(300.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.min_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(a.max_seconds(), 300.0);
+  EXPECT_DOUBLE_EQ(a.Quantile(1.0), 300.0);
+
+  // Merging an empty histogram must not disturb the envelope.
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_DOUBLE_EQ(a.min_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(a.max_seconds(), 300.0);
+}
+
 // ---------------------------------------------------------------------------
 // MetricsRegistry.
 // ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, SnapshotCarriesTailQuantilesAndMax) {
+  MetricsRegistry registry;
+  for (int i = 1; i <= 1000; ++i) {
+    registry.histogram("latency").Observe(0.001 * i);
+  }
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& h = snap.histograms[0].second;
+  EXPECT_LE(h.p50, h.p95);
+  EXPECT_LE(h.p95, h.p99);
+  EXPECT_LE(h.p99, h.p999);
+  EXPECT_LE(h.p999, h.max);
+  EXPECT_DOUBLE_EQ(h.max, 1.0);
+  std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+  EXPECT_NE(json.find("\"max\""), std::string::npos);
+}
 
 TEST(MetricsRegistryTest, MetricsHaveStableIdentity) {
   MetricsRegistry registry;

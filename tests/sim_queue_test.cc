@@ -199,5 +199,18 @@ TEST_F(QueueSimTest, ReplicationsDrawDecorrelatedFaultStreams) {
   EXPECT_TRUE(any_difference);
 }
 
+TEST_F(QueueSimTest, RejectsRequestCountsThatOverflowSpanIds) {
+  // Async-span ids pack the arrival index into the low 32 bits of
+  // (seed << 32) | index; 2^32 arrivals would wrap into the seed field.
+  QueueSimConfig config;
+  config.total_requests = (int64_t{1} << 32) - 1;
+  EXPECT_TRUE(ValidateQueueSimConfig(config).ok());
+
+  config.total_requests = int64_t{1} << 32;
+  Status s = ValidateQueueSimConfig(config);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("2^32"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace serpentine::sim

@@ -1,0 +1,110 @@
+#include "serpentine/workload/arrival_process.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace serpentine::workload {
+namespace {
+
+std::vector<double> Times(ArrivalProcess& p, int n) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(p.NextSeconds());
+  return out;
+}
+
+TEST(ArrivalProcessTest, PoissonDeterministicPerSeed) {
+  PoissonProcess a(60.0, 42);
+  PoissonProcess b(60.0, 42);
+  std::vector<double> ta = Times(a, 1000);
+  std::vector<double> tb = Times(b, 1000);
+  EXPECT_EQ(ta, tb);  // bit-exact rand48 replay
+
+  PoissonProcess c(60.0, 43);
+  EXPECT_NE(Times(c, 1000), ta);
+}
+
+TEST(ArrivalProcessTest, PoissonTimesStrictlyIncrease) {
+  PoissonProcess p(120.0, 7);
+  double prev = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    double t = p.NextSeconds();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ArrivalProcessTest, PoissonInterarrivalMeanWithinTolerance) {
+  const double rate = 90.0;  // mean gap 40 s
+  PoissonProcess p(rate, 3);
+  const int n = 20000;
+  double last = 0.0;
+  for (int i = 0; i < n; ++i) last = p.NextSeconds();
+  double mean_gap = last / n;
+  // Standard error of the mean gap is mean/sqrt(n) ~ 0.7%; 3% tolerance.
+  EXPECT_NEAR(mean_gap, 3600.0 / rate, 0.03 * 3600.0 / rate);
+}
+
+TEST(ArrivalProcessTest, DiurnalDeterministicAndMonotone) {
+  DiurnalProcess a(60.0, 0.8, 86400.0, 5);
+  DiurnalProcess b(60.0, 0.8, 86400.0, 5);
+  std::vector<double> ta = Times(a, 2000);
+  EXPECT_EQ(ta, Times(b, 2000));
+  for (size_t i = 1; i < ta.size(); ++i) EXPECT_GT(ta[i], ta[i - 1]);
+}
+
+TEST(ArrivalProcessTest, DiurnalLongRunRateMatchesBase) {
+  // Thinning preserves the base rate: over whole periods the sinusoid
+  // integrates away. Use a short period so 20k arrivals span many cycles.
+  const double base = 120.0;
+  DiurnalProcess p(base, 0.8, /*period_seconds=*/3600.0, 9);
+  const int n = 20000;
+  double last = 0.0;
+  for (int i = 0; i < n; ++i) last = p.NextSeconds();
+  double rate = n / (last / 3600.0);
+  EXPECT_NEAR(rate, base, 0.05 * base);
+}
+
+TEST(ArrivalProcessTest, BurstyDeterministicAndMonotone) {
+  BurstyProcess a(240.0, 900.0, 2700.0, 13);
+  BurstyProcess b(240.0, 900.0, 2700.0, 13);
+  std::vector<double> ta = Times(a, 2000);
+  EXPECT_EQ(ta, Times(b, 2000));
+  for (size_t i = 1; i < ta.size(); ++i) EXPECT_GT(ta[i], ta[i - 1]);
+}
+
+TEST(ArrivalProcessTest, BurstyLongRunRateMatchesDutyCycle) {
+  // ON at 240/h for a 1:3 duty cycle -> long-run mean 60/h.
+  BurstyProcess p(240.0, 900.0, 2700.0, 21);
+  EXPECT_DOUBLE_EQ(p.mean_rate_per_hour(), 60.0);
+  const int n = 20000;
+  double last = 0.0;
+  for (int i = 0; i < n; ++i) last = p.NextSeconds();
+  double rate = n / (last / 3600.0);
+  // Dwell cycles are hour-scale, so the rate estimate is noisier than the
+  // Poisson case; 10% tolerance over ~330 hours of stream.
+  EXPECT_NEAR(rate, 60.0, 6.0);
+}
+
+TEST(ArrivalProcessTest, FactoryBuildsEachProcessAtRequestedMeanRate) {
+  for (const char* name : {"poisson", "diurnal", "bursty"}) {
+    auto p = MakeArrivalProcess(name, 75.0, 1);
+    ASSERT_TRUE(p.ok()) << name;
+    EXPECT_STREQ((*p)->name(), name);
+    EXPECT_DOUBLE_EQ((*p)->mean_rate_per_hour(), 75.0);
+  }
+}
+
+TEST(ArrivalProcessTest, FactoryRejectsGarbage) {
+  EXPECT_FALSE(MakeArrivalProcess("sawtooth", 60.0, 1).ok());
+  EXPECT_FALSE(MakeArrivalProcess("poisson", 0.0, 1).ok());
+  EXPECT_FALSE(MakeArrivalProcess("poisson", -5.0, 1).ok());
+  EXPECT_FALSE(
+      MakeArrivalProcess("poisson", std::nan(""), 1).ok());
+}
+
+}  // namespace
+}  // namespace serpentine::workload

@@ -136,6 +136,22 @@ for config in $CONFIGS; do
       echo "python3 not on PATH; skipping the bench JSON schema check"
     fi
     echo "== fleet smoke: OK =="
+
+    # Stress smoke: the open-loop multi-tenant harness at smoke scale
+    # (~2k requests per point; exits nonzero on conservation violations,
+    # non-finite or out-of-order quantiles, or a missing latency knee),
+    # plus the schema check over its records.
+    echo "== stress smoke: stress ($build_dir) =="
+    stress_json="$build_dir/stress_smoke.json"
+    rm -f "$stress_json"
+    SERPENTINE_SCALE=smoke SERPENTINE_BENCH_JSON="$stress_json" \
+      "$build_dir/bench/stress" > /dev/null
+    if command -v python3 >/dev/null 2>&1; then
+      python3 tools/validate_bench_json.py "$stress_json"
+    else
+      echo "python3 not on PATH; skipping the bench JSON schema check"
+    fi
+    echo "== stress smoke: OK =="
   fi
 done
 

@@ -82,6 +82,23 @@ else
 fi
 
 echo
+echo "== stress: open-loop million-request harness with tail-latency SLOs" \
+     "(exits nonzero on invariant violations) =="
+# Full scale is the 1M-request acceptance run; default here keeps the
+# sweep to ~50k requests per point. SERPENTINE_SCALE=full to reproduce
+# the paper-scale knee.
+rm -f "$OUT_DIR/BENCH_stress.json"
+SERPENTINE_BENCH_JSON="$OUT_DIR/BENCH_stress.json" \
+  "$BUILD_DIR/bench/stress" > "$OUT_DIR/BENCH_stress.txt"
+tail -n 2 "$OUT_DIR/BENCH_stress.txt"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$(dirname "$0")/validate_bench_json.py" \
+    "$OUT_DIR/BENCH_stress.json"
+else
+  echo "python3 not on PATH; skipping BENCH_stress.json validation"
+fi
+
+echo
 echo "== drive ops: MeteredDrive op counts per algorithm =="
 # This run doubles as the observability sample: one Chrome trace_event
 # timeline and one metrics snapshot (see docs/observability.md).
@@ -94,6 +111,6 @@ echo
 echo "wrote $OUT_DIR/BENCH_sched.json, $OUT_DIR/BENCH_sched_cpu.json," \
      "$OUT_DIR/BENCH_sim.jsonl," \
      "$OUT_DIR/BENCH_fault_sweep.txt, $OUT_DIR/BENCH_overload.json," \
-     "$OUT_DIR/BENCH_drive_ops.json," \
+     "$OUT_DIR/BENCH_stress.json, $OUT_DIR/BENCH_drive_ops.json," \
      "$OUT_DIR/BENCH_trace.json, and $OUT_DIR/BENCH_metrics.json" \
      "(threads: ${SERPENTINE_THREADS:-auto}, scale: ${SERPENTINE_SCALE:-default})"

@@ -45,6 +45,22 @@ FIGURE_REQUIRED = {
         "robot_wait_seconds": (int, float),
         "busy_seconds": (int, float),
     },
+    "stress": {
+        "process": str,
+        "tenants": int,
+        "offered_rate_per_hour": (int, float),
+        "throughput_per_hour": (int, float),
+        "p50_response_seconds": (int, float),
+        "p95_response_seconds": (int, float),
+        "p99_response_seconds": (int, float),
+        "p999_response_seconds": (int, float),
+        "max_response_seconds": (int, float),
+        "shed_rate": (int, float),
+        "cache_hit_rate": (int, float),
+        "coalesced_rate": (int, float),
+        "utilization": (int, float),
+        "fairness_jain": (int, float),
+    },
 }
 
 
