@@ -1,7 +1,8 @@
 // Umbrella header: the whole public API of the serpentine library.
 //
 // Layering (each includes only the ones above it):
-//   util -> obs -> tape -> tsp -> sched -> drive -> sim/workload -> fleet/store
+//   util -> obs -> tape -> tsp -> sched -> drive -> sim/workload
+//        -> layout/fleet/store
 #ifndef SERPENTINE_SERPENTINE_H_
 #define SERPENTINE_SERPENTINE_H_
 
@@ -64,6 +65,11 @@
 
 #include "serpentine/workload/generators.h"
 #include "serpentine/workload/trace_io.h"
+
+#include "serpentine/layout/heat_map.h"
+#include "serpentine/layout/migration.h"
+#include "serpentine/layout/oracle.h"
+#include "serpentine/layout/placement.h"
 
 #include "serpentine/store/segment_cache.h"
 #include "serpentine/store/store.h"

@@ -57,6 +57,12 @@ void WearTracker::RecordSchedule(const tape::Dlt4000LocateModel& model,
   }
 }
 
+void WearTracker::Merge(const WearTracker& other) {
+  SERPENTINE_CHECK_EQ(bins(), other.bins());
+  for (int i = 0; i < bins(); ++i) passes_[i] += other.passes_[i];
+  distance_ += other.distance_;
+}
+
 int64_t WearTracker::max_passes() const {
   return *std::max_element(passes_.begin(), passes_.end());
 }

@@ -33,6 +33,12 @@ class WearTracker {
                       const sched::Schedule& schedule,
                       bool rewind_at_end = false);
 
+  /// Adds another tracker's per-bin passes and distance into this one —
+  /// fleet-level wear aggregation across per-bay trackers (region i of
+  /// every cartridge lands in bin i). Both trackers must use the same bin
+  /// count.
+  void Merge(const WearTracker& other);
+
   int bins() const { return static_cast<int>(passes_.size()); }
   int64_t bin_passes(int i) const { return passes_[i]; }
 

@@ -62,6 +62,16 @@ for doc in docs/*.md; do
     docs_fail=1
   fi
 done
+# Every source layer must be documented: each directory under
+# src/serpentine/ must be named (as "<layer>/") in some docs page, so a
+# new layer cannot land without the docs knowing it exists.
+for dir in src/serpentine/*/; do
+  layer=$(basename "$dir")
+  if ! grep -q "${layer}/" docs/*.md; then
+    echo "error: no docs/*.md mentions source layer ${layer}/" >&2
+    docs_fail=1
+  fi
+done
 if [ "$docs_fail" -ne 0 ]; then
   echo "== docs lint: FAILED ==" >&2
   exit 1
@@ -152,6 +162,22 @@ for config in $CONFIGS; do
       echo "python3 not on PATH; skipping the bench JSON schema check"
     fi
     echo "== stress smoke: OK =="
+
+    # Placement smoke: the layout-loop bench (exits nonzero unless the
+    # optimized layout strictly improves BOTH makespan and media life on
+    # the skewed evaluation workload, and the interleaved migration
+    # finishes), plus the schema check over its records.
+    echo "== placement smoke: placement_sweep ($build_dir) =="
+    placement_json="$build_dir/placement_smoke.json"
+    rm -f "$placement_json"
+    SERPENTINE_SCALE=smoke SERPENTINE_BENCH_JSON="$placement_json" \
+      "$build_dir/bench/placement_sweep" > /dev/null
+    if command -v python3 >/dev/null 2>&1; then
+      python3 tools/validate_bench_json.py "$placement_json"
+    else
+      echo "python3 not on PATH; skipping the bench JSON schema check"
+    fi
+    echo "== placement smoke: OK =="
   fi
 done
 

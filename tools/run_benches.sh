@@ -99,6 +99,23 @@ else
 fi
 
 echo
+echo "== placement: workload-aware layout vs the seed =="
+# The layout loop end to end: heat capture, tail-anchored optimization,
+# seed-vs-optimized evaluation (the bench exits nonzero unless the
+# optimized layout strictly improves BOTH makespan and media life), and
+# migration cost. SERPENTINE_SCALE=full lengthens the evaluation horizon.
+rm -f "$OUT_DIR/BENCH_placement.json"
+SERPENTINE_BENCH_JSON="$OUT_DIR/BENCH_placement.json" \
+  "$BUILD_DIR/bench/placement_sweep" > "$OUT_DIR/BENCH_placement.txt"
+tail -n 1 "$OUT_DIR/BENCH_placement.txt"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$(dirname "$0")/validate_bench_json.py" \
+    "$OUT_DIR/BENCH_placement.json"
+else
+  echo "python3 not on PATH; skipping BENCH_placement.json validation"
+fi
+
+echo
 echo "== drive ops: MeteredDrive op counts per algorithm =="
 # This run doubles as the observability sample: one Chrome trace_event
 # timeline and one metrics snapshot (see docs/observability.md).
@@ -111,6 +128,7 @@ echo
 echo "wrote $OUT_DIR/BENCH_sched.json, $OUT_DIR/BENCH_sched_cpu.json," \
      "$OUT_DIR/BENCH_sim.jsonl," \
      "$OUT_DIR/BENCH_fault_sweep.txt, $OUT_DIR/BENCH_overload.json," \
-     "$OUT_DIR/BENCH_stress.json, $OUT_DIR/BENCH_drive_ops.json," \
+     "$OUT_DIR/BENCH_stress.json, $OUT_DIR/BENCH_placement.json," \
+     "$OUT_DIR/BENCH_drive_ops.json," \
      "$OUT_DIR/BENCH_trace.json, and $OUT_DIR/BENCH_metrics.json" \
      "(threads: ${SERPENTINE_THREADS:-auto}, scale: ${SERPENTINE_SCALE:-default})"

@@ -45,6 +45,19 @@ FIGURE_REQUIRED = {
         "robot_wait_seconds": (int, float),
         "busy_seconds": (int, float),
     },
+    "placement": {
+        "workload": str,
+        "makespan_seconds": (int, float),
+        "life_consumed": (int, float),
+        "max_passes": int,
+        "tape_lengths": (int, float),
+    },
+    "placement-migration": {
+        "batches": int,
+        "segments_moved": int,
+        "migration_seconds": (int, float),
+        "foreground_p99_seconds": (int, float),
+    },
     "stress": {
         "process": str,
         "tenants": int,
